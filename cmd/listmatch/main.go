@@ -1,0 +1,131 @@
+// Command listmatch computes a maximal matching of a generated linked
+// list with a chosen algorithm and prints the PRAM accounting; with
+// -render it also draws the Fig.-2 bisecting-line view of the pointers.
+//
+// Usage:
+//
+//	listmatch -n 1048576 -p 4096 -algo match4 -i 3
+//	listmatch -n 16 -gen zigzag -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parlist/internal/core"
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+func main() {
+	n := flag.Int("n", 1<<16, "list size")
+	p := flag.Int("p", 256, "simulated PRAM processors")
+	algo := flag.String("algo", "match4", "algorithm: match1|match2|match3|match4|sequential|randomized")
+	i := flag.Int("i", 3, "Match4 adjustable parameter i")
+	gen := flag.String("gen", "random", "generator: random|sequential|reversed|zigzag|blocked")
+	seed := flag.Int64("seed", 1, "generator seed")
+	useTable := flag.Bool("table", false, "use the Lemma 5 table partition in Match4")
+	goroutines := flag.Bool("goroutines", false, "execute simulated steps on a goroutine pool")
+	render := flag.Bool("render", false, "draw the bisecting-line view (small n)")
+	trace := flag.Bool("trace", false, "print a round-level trace summary and Gantt bar")
+	load := flag.String("load", "", "read the list from a file written with -save instead of generating")
+	save := flag.String("save", "", "write the generated list to a file (binary format)")
+	flag.Parse()
+
+	var l *list.List
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+			os.Exit(2)
+		}
+		l, err = list.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+			os.Exit(2)
+		}
+		*n = l.Len()
+	} else {
+		for _, g := range list.Generators() {
+			if g.Name == *gen {
+				l = g.Make(*n, *seed)
+			}
+		}
+		if l == nil {
+			fmt.Fprintf(os.Stderr, "listmatch: unknown generator %q\n", *gen)
+			os.Exit(2)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+			os.Exit(2)
+		}
+		if _, err := l.WriteTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("list saved to %s\n", *save)
+	}
+	if *render {
+		fmt.Print(l.RenderBisection())
+	}
+
+	exec := pram.Sequential
+	if *goroutines {
+		exec = pram.Goroutines
+	}
+	var tracer *pram.Tracer
+	if *trace {
+		tracer = &pram.Tracer{}
+	}
+	res, err := core.MaximalMatching(l, core.Options{
+		Algorithm:  core.Algorithm(*algo),
+		Processors: *p,
+		I:          *i,
+		UseTable:   *useTable,
+		Exec:       exec,
+		Seed:       *seed,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listmatch: %v\n", err)
+		os.Exit(1)
+	}
+	if err := core.Verify(l, res.In); err != nil {
+		fmt.Fprintf(os.Stderr, "listmatch: verification FAILED: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("algorithm   %s\n", res.Detail.Algorithm)
+	fmt.Printf("n           %d pointers %d\n", *n, l.PointerCount())
+	fmt.Printf("matched     %d (%.1f%% of pointers)\n", res.Size, 100*float64(res.Size)/float64(l.PointerCount()))
+	fmt.Printf("processors  %d\n", res.Stats.Processors)
+	fmt.Printf("PRAM time   %d steps\n", res.Stats.Time)
+	fmt.Printf("PRAM work   %d ops\n", res.Stats.Work)
+	fmt.Printf("efficiency  %.3f (vs sequential T1 = n)\n", res.Stats.Efficiency(int64(*n)))
+	if res.Detail.Sets > 0 {
+		fmt.Printf("sets        %d matching sets from the partition stage\n", res.Detail.Sets)
+	}
+	if res.Detail.TableSize > 0 {
+		fmt.Printf("table       %d entries\n", res.Detail.TableSize)
+	}
+	fmt.Println("phases:")
+	for _, ph := range res.Stats.Phases {
+		fmt.Printf("  %-12s time %-10d work %d\n", ph.Name, ph.Time, ph.Work)
+	}
+	if tracer != nil {
+		fmt.Println("\nround trace:")
+		fmt.Print(tracer.Summary())
+		fmt.Println("\ntime profile:")
+		fmt.Print(tracer.Gantt(60))
+	}
+	fmt.Println("verification: maximal matching OK")
+}

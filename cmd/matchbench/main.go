@@ -1,0 +1,52 @@
+// Command matchbench runs the reproduction experiment suite (E1–E15,
+// see DESIGN.md) and prints the result tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	matchbench               # run every experiment at full scale
+//	matchbench -exp E7       # one experiment
+//	matchbench -quick        # shrunken sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parlist/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (e.g. E7); empty = all")
+	quick := flag.Bool("quick", false, "shrink the sweeps")
+	seed := flag.Int64("seed", 1, "list-generation seed")
+	flag.Parse()
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	var suite []harness.Experiment
+	if *exp == "" {
+		suite = harness.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "matchbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			suite = append(suite, e)
+		}
+	}
+	for _, e := range suite {
+		fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "matchbench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package parlist_test
+
+import (
+	"fmt"
+
+	"parlist"
+)
+
+// ExampleMaximalMatching computes a maximal matching of a small list
+// with the paper's optimal algorithm and verifies it.
+func ExampleMaximalMatching() {
+	l := parlist.SequentialList(8) // 0 → 1 → … → 7
+	res, err := parlist.MaximalMatching(l, parlist.Options{Processors: 4})
+	if err != nil {
+		panic(err)
+	}
+	if err := parlist.Verify(l, res.In); err != nil {
+		panic(err)
+	}
+	fmt.Printf("matched %d of %d pointers\n", res.Size, l.PointerCount())
+	// Output:
+	// matched 4 of 7 pointers
+}
+
+// ExamplePartition shows one application of the matching partition
+// function: equal-labelled pointers never share a node.
+func ExamplePartition() {
+	l := parlist.SequentialList(8)
+	lab, rng, err := parlist.Partition(l, 1, parlist.Options{Processors: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("label range:", rng)
+	fmt.Println("labels:", lab[:7]) // pointer labels for nodes 0..6
+	// Output:
+	// label range: 6
+	// labels: [0 2 0 4 0 2 0]
+}
+
+// ExampleThreeColor three-colours a list deterministically.
+func ExampleThreeColor() {
+	l := parlist.SequentialList(6)
+	col, _, err := parlist.ThreeColor(l, parlist.Options{})
+	if err != nil {
+		panic(err)
+	}
+	ok := true
+	for v, s := range l.Next {
+		if s >= 0 && col[v] == col[s] {
+			ok = false
+		}
+	}
+	fmt.Println("proper:", ok)
+	// Output:
+	// proper: true
+}
+
+// ExamplePrefix computes running sums along a scattered list.
+func ExamplePrefix() {
+	l := parlist.FromOrder([]int{2, 0, 1}) // visits node 2, then 0, then 1
+	out, _, err := parlist.Prefix(l, []int{10, 20, 30}, parlist.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(out[2], out[0], out[1]) // in list order
+	// Output:
+	// 30 40 60
+}
+
+// ExampleRank ranks nodes by distance from the head.
+func ExampleRank() {
+	l := parlist.ZigZagList(5) // order 0, 4, 1, 3, 2
+	rk, _, err := parlist.Rank(l, parlist.Options{Rank: parlist.RankWyllie})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(rk)
+	// Output:
+	// [0 2 4 3 1]
+}

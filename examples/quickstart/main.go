@@ -1,0 +1,53 @@
+// Quickstart: compute a maximal matching of a linked list with the
+// paper's optimal algorithm (Match4) and inspect the PRAM accounting.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parlist"
+)
+
+func main() {
+	// A linked list of one million nodes stored in an array, visiting a
+	// random permutation of the addresses (the paper's Fig. 1 layout).
+	const n = 1 << 20
+	l := parlist.RandomList(n, 1)
+
+	// Match4 with i = 3: a partition into O(log^(3) n) matching sets,
+	// then the WalkDown schedule — optimal using up to n/log^(3) n
+	// simulated processors (Theorem 1).
+	res, err := parlist.MaximalMatching(l, parlist.Options{
+		Processors: 4096,
+		I:          3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := parlist.Verify(l, res.In); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+
+	fmt.Printf("maximal matching of %d pointers: %d matched (%.1f%%)\n",
+		n-1, res.Size, 100*float64(res.Size)/float64(n-1))
+	fmt.Printf("simulated PRAM: p = %d, time = %d steps, work = %d ops\n",
+		res.Stats.Processors, res.Stats.Time, res.Stats.Work)
+	fmt.Printf("efficiency vs the sequential greedy walk: %.3f\n",
+		res.Stats.Efficiency(int64(n)))
+	fmt.Println("\nper-phase breakdown:")
+	for _, ph := range res.Stats.Phases {
+		fmt.Printf("  %-12s time %-10d work %d\n", ph.Name, ph.Time, ph.Work)
+	}
+
+	// The same matching at p = 1 shows the work-optimality: time shrinks
+	// linearly in p between the two runs.
+	res1, err := parlist.MaximalMatching(l, parlist.Options{Processors: 1, I: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nspeedup p=1 → p=4096: %.0fx (ideal 4096x)\n",
+		float64(res1.Stats.Time)/float64(res.Stats.Time))
+}

@@ -1,0 +1,3 @@
+module parlist
+
+go 1.22

@@ -1,0 +1,220 @@
+package bits
+
+import (
+	mathbits "math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1023, 9}, {1024, 10}, {1 << 30, 30},
+	}
+	for _, c := range cases {
+		if got := Log2(c.in); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPositive(t *testing.T) {
+	for _, x := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Log2(%d) did not panic", x)
+				}
+			}()
+			Log2(x)
+		}()
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.in); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCeilLog2IsCeiling(t *testing.T) {
+	for x := 1; x < 1<<14; x++ {
+		c := CeilLog2(x)
+		if 1<<uint(c) < x {
+			t.Fatalf("CeilLog2(%d)=%d: 2^%d < %d", x, c, c, x)
+		}
+		if c > 0 && 1<<uint(c-1) >= x {
+			t.Fatalf("CeilLog2(%d)=%d not minimal", x, c)
+		}
+	}
+}
+
+func TestMSBLSBAgainstMathBits(t *testing.T) {
+	check := func(x int) bool {
+		if x <= 0 {
+			return true
+		}
+		return MSB(x) == mathbits.Len(uint(x))-1 && LSB(x) == mathbits.TrailingZeros(uint(x))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBit(t *testing.T) {
+	x := 0b101101
+	want := []int{1, 0, 1, 1, 0, 1, 0}
+	for k, w := range want {
+		if got := Bit(x, k); got != w {
+			t.Errorf("Bit(%b, %d) = %d, want %d", x, k, got, w)
+		}
+	}
+}
+
+func TestLogIter(t *testing.T) {
+	n := 1 << 16
+	if got := LogIter(n, 0); got != n {
+		t.Errorf("LogIter(n,0) = %d, want %d", got, n)
+	}
+	if got := LogIter(n, 1); got != 16 {
+		t.Errorf("LogIter(2^16,1) = %d, want 16", got)
+	}
+	if got := LogIter(n, 2); got != 4 {
+		t.Errorf("LogIter(2^16,2) = %d, want 4", got)
+	}
+	if got := LogIter(n, 3); got != 2 {
+		t.Errorf("LogIter(2^16,3) = %d, want 2", got)
+	}
+	if got := LogIter(n, 4); got != 1 {
+		t.Errorf("LogIter(2^16,4) = %d, want 1", got)
+	}
+	if got := LogIter(n, 5); got != 0 {
+		t.Errorf("LogIter(2^16,5) = %d, want 0", got)
+	}
+}
+
+func TestLogIterMonotoneInI(t *testing.T) {
+	for _, n := range []int{2, 17, 1000, 1 << 20} {
+		prev := LogIter(n, 0)
+		for i := 1; i < 8; i++ {
+			cur := LogIter(n, i)
+			if cur > prev {
+				t.Fatalf("LogIter(%d,%d)=%d > LogIter(%d,%d)=%d", n, i, cur, n, i-1, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestG(t *testing.T) {
+	// G(n) = min{k : log^(k) n < 1}.
+	cases := []struct{ n, want int }{
+		{1, 1},     // log 1 = 0 < 1
+		{2, 2},     // log 2 = 1 (not <1), log log 2 = 0
+		{4, 3},     // 4→2→1→0
+		{16, 4},    // 16→4→2→1→0: log^3 = 1 not < 1, so 4
+		{65536, 5}, // 65536→16→4→2→1
+		{1 << 20, 5},
+	}
+	for _, c := range cases {
+		if got := G(c.n); got != c.want {
+			t.Errorf("G(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGMonotone(t *testing.T) {
+	prev := 0
+	for _, n := range []int{1, 2, 3, 4, 10, 16, 100, 65536, 1 << 30} {
+		g := G(n)
+		if g < prev {
+			t.Fatalf("G not monotone at n=%d: %d < %d", n, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestLogG(t *testing.T) {
+	for _, n := range []int{2, 16, 1 << 16, 1 << 30} {
+		lg := LogG(n)
+		g := G(n)
+		if lg < 1 {
+			t.Errorf("LogG(%d) = %d < 1", n, lg)
+		}
+		if 1<<uint(lg) < g {
+			t.Errorf("2^LogG(%d) = %d < G(n) = %d", n, 1<<uint(lg), g)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	cases := []struct{ x, w, want int }{
+		{0b1, 4, 0b1000},
+		{0b1011, 4, 0b1101},
+		{0b1111, 4, 0b1111},
+		{0, 8, 0},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Reverse(c.x, c.w); got != c.want {
+			t.Errorf("Reverse(%b, %d) = %b, want %b", c.x, c.w, got, c.want)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	check := func(x uint16) bool {
+		v := int(x)
+		return Reverse(Reverse(v, 16), 16) == v
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogIterFMatchesInteger(t *testing.T) {
+	// The float predictor should be within one of the integer iterate.
+	for _, n := range []int{16, 1024, 1 << 20} {
+		for i := 0; i < 4; i++ {
+			fi := LogIterF(float64(n), i)
+			ii := LogIter(n, i)
+			if fi > float64(ii)+1 || fi < float64(ii)-2 {
+				t.Errorf("LogIterF(%d,%d)=%.2f far from LogIter=%d", n, i, fi, ii)
+			}
+		}
+	}
+}
+
+func TestLSBPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LSB(0) did not panic")
+		}
+	}()
+	LSB(0)
+}
+
+func TestGPanicsBelowOne(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("G(0) did not panic")
+		}
+	}()
+	G(0)
+}
+
+func TestUnaryTableSize(t *testing.T) {
+	if NewUnaryTable(64).Size() != 64 {
+		t.Error("Size wrong")
+	}
+}
+
+func TestLogIterFNonPositive(t *testing.T) {
+	if LogIterF(0, 3) != 0 || LogIterF(-4, 1) != 0 {
+		t.Error("non-positive LogIterF should be 0")
+	}
+}

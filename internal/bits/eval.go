@@ -1,0 +1,131 @@
+package bits
+
+// This file implements the appendix's evaluation procedures for
+// log n, log^(i) n, G(n) and log G(n). The sequential procedures follow
+// the appendix instruction-for-instruction (using the lookup tables of
+// table.go); the parallel procedure builds the "main list" over array
+// N[1..n] and evaluates G(n) and log G(n) by pointer jumping in
+// O(log G(n)) rounds, as the appendix claims.
+
+// EvalLog evaluates ⌊log₂ n⌋ with the appendix's scheme:
+//
+//	let the binary representation of n be a_k...a_2a_1; compute the bit
+//	reversal n' of n; n' := n' XOR (n'-1); n' := convert(n'); log n := k - n'.
+//
+// rev must cover width ≥ bits of n; u must cover 2^width.
+func EvalLog(n int, u *UnaryTable, rev *ReverseTable) int {
+	if n < 1 {
+		panic("bits: EvalLog of value < 1")
+	}
+	if n == 1 {
+		return 0
+	}
+	k := rev.Width()
+	np := rev.Reverse(n)
+	np = np ^ (np - 1)
+	np = (np + 1) / 2 // isolate the unary bit before conversion
+	c := u.Convert(np)
+	return k - 1 - c
+}
+
+// EvalLogIter evaluates log^(i) n by "execut[ing] this procedure i
+// times" per the appendix. Returns 0 as soon as the running value
+// reaches 1.
+func EvalLogIter(n, i int, u *UnaryTable, rev *ReverseTable) int {
+	v := n
+	for k := 0; k < i; k++ {
+		if v <= 1 {
+			return 0
+		}
+		v = EvalLog(v, u, rev)
+	}
+	return v
+}
+
+// EvalGSequential iterates the logarithm until the input is "log-ed into
+// a constant" (here: drops below 2, i.e. the next log would be < 1) and
+// counts iterations. Takes O(G(n)) applications, matching the appendix.
+func EvalGSequential(n int, u *UnaryTable, rev *ReverseTable) int {
+	if n < 1 {
+		panic("bits: EvalGSequential of value < 1")
+	}
+	v := n
+	k := 0
+	for v >= 2 {
+		v = EvalLog(v, u, rev)
+		k++
+	}
+	// One more application takes any remaining value in {0,1} below 1.
+	return k + 1
+}
+
+// MainListResult reports the appendix's parallel evaluation of G(n) and
+// log G(n) on the EREW model with n processors.
+type MainListResult struct {
+	G          int // main-list length, an evaluation (Θ) of G(n)
+	LogG       int // pointer-jumping rounds, an evaluation of log G(n)
+	ListLength int // number of pointers on the main list
+}
+
+// EvalGParallel builds the appendix's array N[1..n]: processor i sets
+// N[i] := log i when i is a power of two (so cell 2^k points to cell k),
+// nil otherwise, and N[1] := 1. This creates many linked lists among the
+// cells; the one containing cell 1 — the "main list" — is the tower
+// chain 1 ← 2 ← 4 ← 16 ← 65536 ← ..., because cell 2^k lies on it
+// exactly when k itself is a populated cell reaching 1. The length of
+// the main list evaluates G(n) (it is Θ(G(n)); the appendix notes an
+// evaluation of H means finding m = Θ(H)), and the number of pointer
+// jumping rounds N[i] := N[N[i]] needed to make the last pointer of the
+// main list point at 1 evaluates log G(n).
+func EvalGParallel(n int) MainListResult {
+	if n < 2 {
+		return MainListResult{G: 1, LogG: 1, ListLength: 1}
+	}
+	// Build the cells exactly as the appendix prescribes. next[i] ≥ 0
+	// only for powers of two; next[1] = 1 is the terminating fixed point.
+	next := make([]int, n+1)
+	for i := range next {
+		next[i] = -1
+	}
+	for k := 0; 1<<uint(k) <= n; k++ {
+		next[1<<uint(k)] = k
+	}
+	next[1] = 1
+
+	// The main list's top is the largest tower value 2↑↑j ≤ n. Find it by
+	// growing the tower, then walk the chain through next[] to count the
+	// list's pointers. Every hop must land on a populated cell — that is
+	// precisely what makes this the main list.
+	top := 1
+	for top <= 62 && 1<<uint(top) <= n {
+		top = 1 << uint(top)
+	}
+	length := 0
+	for i := top; i != 1; {
+		if i < 0 || i > n || next[i] < 0 {
+			panic("bits: EvalGParallel walked off the main list")
+		}
+		i = next[i]
+		length++
+		if length > 64 {
+			panic("bits: EvalGParallel main list did not terminate")
+		}
+	}
+	if length == 0 {
+		length = 1
+	}
+
+	// Pointer jumping: rounds of N[i] := N[N[i]] until the top's pointer
+	// reaches cell 1. Each round halves the remaining distance, so the
+	// round count is ⌈log₂ length⌉ — the evaluation of log G(n).
+	rounds := 0
+	dist := length
+	for dist > 1 {
+		dist = (dist + 1) / 2
+		rounds++
+	}
+	if rounds < 1 {
+		rounds = 1
+	}
+	return MainListResult{G: length, LogG: rounds, ListLength: length}
+}

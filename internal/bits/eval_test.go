@@ -1,0 +1,90 @@
+package bits
+
+import "testing"
+
+func TestEvalLogMatchesLog2(t *testing.T) {
+	u := NewUnaryTable(1 << 12)
+	rev := NewReverseTable(12)
+	for n := 1; n < 1<<12; n++ {
+		if got, want := EvalLog(n, u, rev), Log2(n); got != want {
+			t.Fatalf("EvalLog(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestEvalLogIterMatchesLogIterFloor(t *testing.T) {
+	// EvalLogIter composes floor-logs, LogIter composes ceil-logs; they
+	// agree within 1 at every stage for the sizes we use.
+	u := NewUnaryTable(1 << 16)
+	rev := NewReverseTable(16)
+	for _, n := range []int{2, 16, 1000, 65535} {
+		for i := 0; i < 5; i++ {
+			got := EvalLogIter(n, i, u, rev)
+			ref := LogIter(n, i)
+			if got > ref || got < ref-1 {
+				t.Errorf("EvalLogIter(%d,%d) = %d, LogIter = %d", n, i, got, ref)
+			}
+		}
+	}
+}
+
+func TestEvalGSequentialMatchesG(t *testing.T) {
+	u := NewUnaryTable(1 << 16)
+	rev := NewReverseTable(16)
+	for _, n := range []int{1, 2, 4, 16, 256, 65535} {
+		got := EvalGSequential(n, u, rev)
+		want := G(n)
+		// Floor-vs-exact log differences can shift the count by one.
+		if got < want-1 || got > want+1 {
+			t.Errorf("EvalGSequential(%d) = %d, G = %d", n, got, want)
+		}
+	}
+}
+
+func TestEvalGParallelTowerChain(t *testing.T) {
+	// The main list is the tower chain 1←2←4←16←65536: its length grows
+	// by one exactly when n crosses a tower value.
+	cases := []struct {
+		n int
+		g int
+	}{
+		{2, 1},       // 2→1
+		{3, 1},       // top is still 2
+		{4, 2},       // 4→2→1
+		{15, 2},      // top 4
+		{16, 3},      // 16→4→2→1
+		{65535, 3},   // top 16
+		{65536, 4},   // 65536→16→4→2→1
+		{1 << 20, 4}, // top 65536
+	}
+	for _, c := range cases {
+		r := EvalGParallel(c.n)
+		if r.G != c.g {
+			t.Errorf("EvalGParallel(%d).G = %d, want %d", c.n, r.G, c.g)
+		}
+		if r.ListLength != r.G {
+			t.Errorf("EvalGParallel(%d): ListLength %d != G %d", c.n, r.ListLength, r.G)
+		}
+		// Rounds = ⌈log₂ length⌉ (min 1).
+		wantRounds := 0
+		for d := r.G; d > 1; d = (d + 1) / 2 {
+			wantRounds++
+		}
+		if wantRounds < 1 {
+			wantRounds = 1
+		}
+		if r.LogG != wantRounds {
+			t.Errorf("EvalGParallel(%d).LogG = %d, want %d", c.n, r.LogG, wantRounds)
+		}
+	}
+}
+
+func TestEvalGParallelIsThetaOfG(t *testing.T) {
+	for _, n := range []int{2, 10, 100, 10000, 1 << 22} {
+		r := EvalGParallel(n)
+		g := G(n)
+		if r.G > g || r.G < g-2 {
+			t.Errorf("n=%d: main-list length %d not Θ of G(n)=%d", n, r.G, g)
+		}
+	}
+}

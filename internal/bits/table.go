@@ -1,0 +1,152 @@
+package bits
+
+import "fmt"
+
+// UnaryTable is the appendix's lookup table for converting a unary
+// number (a single 1-bit, i.e. a power of two) into its exponent. The
+// table is conceptually indexed by the power-of-two value; only the
+// log n entries at indices 2^0, 2^1, ... are useful, exactly as the
+// paper notes ("the table T has only log n entries which are useful").
+//
+// We store the table densely over [0, size) to stay faithful to the
+// random-access semantics of the PRAM scheme; entries that are not a
+// power of two hold -1.
+type UnaryTable struct {
+	t []int8
+}
+
+// NewUnaryTable builds the conversion table covering values < size.
+// Size must be ≥ 2.
+func NewUnaryTable(size int) *UnaryTable {
+	if size < 2 {
+		panic(fmt.Sprintf("bits: UnaryTable size %d < 2", size))
+	}
+	t := make([]int8, size)
+	for i := range t {
+		t[i] = -1
+	}
+	for k := 0; 1<<uint(k) < size; k++ {
+		t[1<<uint(k)] = int8(k)
+	}
+	return &UnaryTable{t: t}
+}
+
+// Size returns the number of entries in the table.
+func (u *UnaryTable) Size() int { return len(u.t) }
+
+// Convert returns k for x = 2^k. It panics if x is not a power of two
+// within the table, mirroring an out-of-range PRAM memory access.
+func (u *UnaryTable) Convert(x int) int {
+	if x < 0 || x >= len(u.t) || u.t[x] < 0 {
+		panic(fmt.Sprintf("bits: UnaryTable.Convert(%d): not a covered power of two", x))
+	}
+	return int(u.t[x])
+}
+
+// LSBLookup runs the appendix's exact instruction sequence to find the
+// least significant bit where a and b differ:
+//
+//	c := a XOR b
+//	c := c XOR (c-1)
+//	c := (c+1)/2   // now c is a power of two: 2^k
+//	k := T[c]
+//
+// a must differ from b and a XOR b must be within the table's range.
+func (u *UnaryTable) LSBLookup(a, b int) int {
+	c := a ^ b
+	if c == 0 {
+		panic("bits: LSBLookup with a == b")
+	}
+	c = c ^ (c - 1)
+	c = (c + 1) / 2
+	return u.Convert(c)
+}
+
+// MSBLookup finds the most significant differing bit of a and b using
+// the appendix's bit-reversal route: reverse both operands with a
+// bit-reversal permutation table and apply the LSB scheme.
+func (u *UnaryTable) MSBLookup(a, b int, rev *ReverseTable) int {
+	ra, rb := rev.Reverse(a), rev.Reverse(b)
+	k := u.LSBLookup(ra, rb)
+	return rev.Width() - 1 - k
+}
+
+// ReverseTable is the appendix's bit reversal permutation table: entry x
+// holds the w-bit reversal of x, "so that the most significant bit
+// becomes the least significant bit".
+type ReverseTable struct {
+	w int
+	t []int32
+}
+
+// NewReverseTable builds the reversal table for w-bit values, covering
+// [0, 2^w). w must be in [1, 30] to keep the dense table practical.
+func NewReverseTable(w int) *ReverseTable {
+	if w < 1 || w > 30 {
+		panic(fmt.Sprintf("bits: ReverseTable width %d out of range [1,30]", w))
+	}
+	t := make([]int32, 1<<uint(w))
+	for x := range t {
+		t[x] = int32(Reverse(x, w))
+	}
+	return &ReverseTable{w: w, t: t}
+}
+
+// Width returns the bit width the table reverses.
+func (r *ReverseTable) Width() int { return r.w }
+
+// Reverse returns the w-bit reversal of x.
+func (r *ReverseTable) Reverse(x int) int {
+	if x < 0 || x >= len(r.t) {
+		panic(fmt.Sprintf("bits: ReverseTable.Reverse(%d) out of range [0,%d)", x, len(r.t)))
+	}
+	return int(r.t[x])
+}
+
+// TableBank models the appendix's requirement that, on the EREW model,
+// each processor needs its own copy of a lookup table (concurrent reads
+// of a single copy are illegal). Creating p copies of a table of size s
+// costs O(s·p/p + log p) = O(s + log p) time with p processors by
+// doubling: round r copies 2^r tables into 2^(r+1). The bank records the
+// setup charge so PRAM accounting can include it when a run does not
+// exclude preprocessing.
+type TableBank struct {
+	copies int
+	size   int
+	// SetupTime and SetupWork are the PRAM charges for replication:
+	// ⌈log₂ p⌉ doubling rounds, each copying size cells with p
+	// processors: time Σ ⌈(2^r·size)/p⌉, work p·size total.
+	SetupTime int64
+	SetupWork int64
+}
+
+// NewTableBank computes the replication charge for p copies of a table
+// of size cells using p processors (the paper: "copies of table T can be
+// created using O(p·log n) space and O(n/p + log n) time on the EREW
+// model" for the unary table whose useful size is log n).
+func NewTableBank(p, size int) *TableBank {
+	if p < 1 || size < 1 {
+		panic(fmt.Sprintf("bits: TableBank with p=%d size=%d", p, size))
+	}
+	var t, w int64
+	for have := 1; have < p; have *= 2 {
+		newCopies := have
+		if have+newCopies > p {
+			newCopies = p - have
+		}
+		cells := int64(newCopies) * int64(size)
+		steps := (cells + int64(p) - 1) / int64(p)
+		if steps < 1 {
+			steps = 1
+		}
+		t += steps
+		w += cells
+	}
+	return &TableBank{copies: p, size: size, SetupTime: t, SetupWork: w}
+}
+
+// Copies returns the number of table copies in the bank.
+func (b *TableBank) Copies() int { return b.copies }
+
+// TableSize returns the size of each copy.
+func (b *TableBank) TableSize() int { return b.size }

@@ -1,0 +1,163 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUnaryTableConvert(t *testing.T) {
+	u := NewUnaryTable(1 << 12)
+	for k := 0; k < 12; k++ {
+		if got := u.Convert(1 << uint(k)); got != k {
+			t.Errorf("Convert(2^%d) = %d, want %d", k, got, k)
+		}
+	}
+}
+
+func TestUnaryTableConvertPanicsOnNonPower(t *testing.T) {
+	u := NewUnaryTable(256)
+	for _, x := range []int{0, 3, 5, 6, 7, 255, -1, 256, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Convert(%d) did not panic", x)
+				}
+			}()
+			u.Convert(x)
+		}()
+	}
+}
+
+func TestLSBLookupMatchesInstruction(t *testing.T) {
+	u := NewUnaryTable(1 << 10)
+	check := func(a, b uint16) bool {
+		x, y := int(a)&1023, int(b)&1023
+		if x == y {
+			return true
+		}
+		return u.LSBLookup(x, y) == LSB(x^y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMSBLookupMatchesInstruction(t *testing.T) {
+	u := NewUnaryTable(1 << 10)
+	rev := NewReverseTable(10)
+	check := func(a, b uint16) bool {
+		x, y := int(a)&1023, int(b)&1023
+		if x == y {
+			return true
+		}
+		return u.MSBLookup(x, y, rev) == MSB(x^y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLSBLookupExhaustiveSmall(t *testing.T) {
+	u := NewUnaryTable(1 << 6)
+	rev := NewReverseTable(6)
+	for a := 0; a < 64; a++ {
+		for b := 0; b < 64; b++ {
+			if a == b {
+				continue
+			}
+			if got, want := u.LSBLookup(a, b), LSB(a^b); got != want {
+				t.Fatalf("LSBLookup(%d,%d) = %d, want %d", a, b, got, want)
+			}
+			if got, want := u.MSBLookup(a, b, rev), MSB(a^b); got != want {
+				t.Fatalf("MSBLookup(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLSBLookupPanicsOnEqual(t *testing.T) {
+	u := NewUnaryTable(16)
+	defer func() {
+		if recover() == nil {
+			t.Error("LSBLookup(5,5) did not panic")
+		}
+	}()
+	u.LSBLookup(5, 5)
+}
+
+func TestReverseTable(t *testing.T) {
+	rev := NewReverseTable(8)
+	if rev.Width() != 8 {
+		t.Fatalf("Width = %d", rev.Width())
+	}
+	for x := 0; x < 256; x++ {
+		if got, want := rev.Reverse(x), Reverse(x, 8); got != want {
+			t.Fatalf("ReverseTable(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestReverseTablePanics(t *testing.T) {
+	rev := NewReverseTable(4)
+	for _, x := range []int{-1, 16, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reverse(%d) did not panic", x)
+				}
+			}()
+			rev.Reverse(x)
+		}()
+	}
+	for _, w := range []int{0, 31, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewReverseTable(%d) did not panic", w)
+				}
+			}()
+			NewReverseTable(w)
+		}()
+	}
+}
+
+func TestTableBankCharges(t *testing.T) {
+	// One processor needs no replication.
+	b := NewTableBank(1, 100)
+	if b.SetupTime != 0 || b.SetupWork != 0 {
+		t.Errorf("p=1 bank charged time=%d work=%d, want 0", b.SetupTime, b.SetupWork)
+	}
+	// p copies require (p-1)·size cell writes in ⌈log p⌉ doubling rounds.
+	for _, p := range []int{2, 4, 7, 64, 1000} {
+		size := 50
+		b := NewTableBank(p, size)
+		if b.Copies() != p || b.TableSize() != size {
+			t.Fatalf("bank metadata wrong: %+v", b)
+		}
+		wantWork := int64((p - 1) * size)
+		if b.SetupWork != wantWork {
+			t.Errorf("p=%d: work = %d, want %d", p, b.SetupWork, wantWork)
+		}
+		// Time is at least the doubling-round count and at most
+		// work/p + rounds.
+		rounds := int64(0)
+		for have := 1; have < p; have *= 2 {
+			rounds++
+		}
+		if b.SetupTime < rounds {
+			t.Errorf("p=%d: time %d < rounds %d", p, b.SetupTime, rounds)
+		}
+		if b.SetupTime > wantWork/int64(p)+rounds+int64(size) {
+			t.Errorf("p=%d: time %d too large", p, b.SetupTime)
+		}
+	}
+}
+
+func TestTableBankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewTableBank(0, 10) did not panic")
+		}
+	}()
+	NewTableBank(0, 10)
+}

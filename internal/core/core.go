@@ -1,0 +1,266 @@
+// Package core is the public façade of parlist: one-call access to the
+// paper's maximal-matching algorithms and the applications built on
+// them, with sensible defaults and a single options struct.
+//
+// Quick use:
+//
+//	l := list.RandomList(1<<20, 1)
+//	res, err := core.MaximalMatching(l, core.Options{Processors: 1024})
+//
+// selects Match4 (the paper's optimal algorithm) with i = 3 and reports
+// the matching plus the simulated PRAM accounting.
+package core
+
+import (
+	"fmt"
+
+	"parlist/internal/color"
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/rank"
+)
+
+// Algorithm names a maximal-matching algorithm.
+type Algorithm string
+
+// The available algorithms.
+const (
+	AlgoMatch1     Algorithm = "match1"     // iterated coin tossing, O(nG(n)/p + G(n))
+	AlgoMatch2     Algorithm = "match2"     // sort-based optimal EREW, O(n/p + log n)
+	AlgoMatch3     Algorithm = "match3"     // table lookup, O(n·logG(n)/p + logG(n))
+	AlgoMatch4     Algorithm = "match4"     // §3 scheduling, O(n·log i/p + log^(i) n + log i)
+	AlgoSequential Algorithm = "sequential" // greedy walk baseline, O(n)
+	AlgoRandomized Algorithm = "randomized" // random coin tossing baseline
+)
+
+// Options configures a run.
+type Options struct {
+	// Algorithm defaults to AlgoMatch4.
+	Algorithm Algorithm
+	// Processors is the simulated PRAM processor count (default 1).
+	Processors int
+	// I is Match4's adjustable parameter (default 3).
+	I int
+	// UseTable selects the Lemma 5 table-based partition in Match4.
+	UseTable bool
+	// Variant selects the matching partition function's bit choice
+	// (default partition.MSB).
+	Variant partition.Variant
+	// Exec selects the simulator executor (default pram.Sequential).
+	Exec pram.Exec
+	// Seed feeds the randomized baseline.
+	Seed int64
+	// Tracer, when non-nil, records a round-level execution log
+	// renderable with Tracer.Summary and Tracer.Gantt.
+	Tracer *pram.Tracer
+	// Rank selects the list-ranking scheme (default RankContraction).
+	Rank RankScheme
+}
+
+func (o Options) machine() *pram.Machine {
+	p := o.Processors
+	if p < 1 {
+		p = 1
+	}
+	opts := []pram.Option{pram.WithExec(o.Exec)}
+	if o.Tracer != nil {
+		opts = append(opts, pram.WithTracer(o.Tracer))
+	}
+	return pram.New(p, opts...)
+}
+
+func (o Options) evaluator(n int) *partition.Evaluator {
+	w := 1
+	for v := 2; v < n; v *= 2 {
+		w++
+	}
+	if w < 2 {
+		w = 2
+	}
+	return partition.NewEvaluator(o.Variant, w)
+}
+
+// Result is a computed maximal matching plus accounting.
+type Result struct {
+	// In[v] reports whether pointer ⟨v, suc(v)⟩ is matched.
+	In []bool
+	// Size is the number of matched pointers.
+	Size int
+	// Stats is the simulated PRAM accounting.
+	Stats pram.Stats
+	// Detail carries the algorithm-specific fields (set counts, table
+	// sizes, iteration counts).
+	Detail *matching.Result
+}
+
+// MaximalMatching computes a maximal matching of l's pointers.
+func MaximalMatching(l *list.List, o Options) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m := o.machine()
+	e := o.evaluator(l.Len())
+	algo := o.Algorithm
+	if algo == "" {
+		algo = AlgoMatch4
+	}
+	i := o.I
+	if i < 1 {
+		i = 3
+	}
+	var (
+		r   *matching.Result
+		err error
+	)
+	switch algo {
+	case AlgoMatch1:
+		r = matching.Match1(m, l, e)
+	case AlgoMatch2:
+		r = matching.Match2(m, l, e)
+	case AlgoMatch3:
+		r, err = matching.Match3(m, l, e, matching.Match3Config{})
+	case AlgoMatch4:
+		r, err = matching.Match4(m, l, e, matching.Match4Config{I: i, UseTable: o.UseTable})
+	case AlgoSequential:
+		in := matching.Sequential(l)
+		m.Charge(int64(l.Len()), int64(l.Len()))
+		r = &matching.Result{Algorithm: "sequential", In: in, Size: matching.Count(in), Stats: m.Snapshot()}
+	case AlgoRandomized:
+		in, rounds := matching.Randomized(m, l, o.Seed)
+		r = &matching.Result{Algorithm: "randomized", In: in, Size: matching.Count(in), Rounds: rounds, Stats: m.Snapshot()}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Result{In: r.In, Size: r.Size, Stats: r.Stats, Detail: r}, nil
+}
+
+// Partition computes a matching partition of the pointers into
+// O(log^(i) n) sets via i applications of the matching partition
+// function, returning labels and the label-range size.
+func Partition(l *list.List, i int, o Options) ([]int, int, error) {
+	if err := l.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("core: %w", err)
+	}
+	if i < 1 {
+		return nil, 0, fmt.Errorf("core: partition parameter i=%d < 1", i)
+	}
+	m := o.machine()
+	lab, rng := matching.PartitionIterated(m, l, o.evaluator(l.Len()), i)
+	return lab, rng, nil
+}
+
+// ThreeColor computes a proper 3-colouring of the list's nodes.
+func ThreeColor(l *list.List, o Options) ([]int, pram.Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	m := o.machine()
+	col := color.ThreeColor(m, l, o.evaluator(l.Len()))
+	return col, m.Snapshot(), nil
+}
+
+// MIS computes a maximal independent set of the list's nodes via
+// maximal matching.
+func MIS(l *list.List, o Options) ([]bool, pram.Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	m := o.machine()
+	i := o.I
+	if i < 1 {
+		i = 3
+	}
+	in, err := color.MISViaMatching(m, l, matching.Match4Config{I: i, UseTable: o.UseTable})
+	if err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	return in, m.Snapshot(), nil
+}
+
+// RankScheme names a list-ranking algorithm.
+type RankScheme string
+
+// The available ranking schemes.
+const (
+	// RankContraction splices via per-round maximal matchings (default).
+	RankContraction RankScheme = "contraction"
+	// RankWyllie is pointer jumping, Θ(n log n) work.
+	RankWyllie RankScheme = "wyllie"
+	// RankLoadBalanced is the Anderson–Miller-style queue scheme.
+	RankLoadBalanced RankScheme = "loadbalanced"
+	// RankRandomMate is randomized contraction.
+	RankRandomMate RankScheme = "randommate"
+)
+
+// Rank computes rank-from-head for every node with the scheme selected
+// by o.Rank (default: matching contraction).
+func Rank(l *list.List, o Options) ([]int, pram.Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	m := o.machine()
+	scheme := o.Rank
+	if scheme == "" {
+		scheme = RankContraction
+	}
+	var (
+		rk  []int
+		err error
+	)
+	switch scheme {
+	case RankContraction:
+		rk, _, err = rank.Rank(m, l, nil)
+	case RankWyllie:
+		rk = rank.WyllieRank(m, l)
+	case RankLoadBalanced:
+		rk, _, err = rank.LoadBalancedRank(m, l)
+	case RankRandomMate:
+		rk, _ = rank.RandomMateRank(m, l, o.Seed)
+	default:
+		return nil, pram.Stats{}, fmt.Errorf("core: unknown ranking scheme %q", scheme)
+	}
+	if err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	return rk, m.Snapshot(), nil
+}
+
+// Prefix computes data-dependent prefix sums over the list.
+func Prefix(l *list.List, vals []int, o Options) ([]int, pram.Stats, error) {
+	if err := l.Validate(); err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	if len(vals) != l.Len() {
+		return nil, pram.Stats{}, fmt.Errorf("core: %d values for %d nodes", len(vals), l.Len())
+	}
+	m := o.machine()
+	out, _, err := rank.Prefix(m, l, vals, nil)
+	if err != nil {
+		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	}
+	return out, m.Snapshot(), nil
+}
+
+// ScheduleMatching converts any externally supplied matching partition
+// (labels in [0, K), consecutive pointers labelled differently) into a
+// maximal matching with §4's processor-scheduling technique, in
+// O(n/p + K) simulated time.
+func ScheduleMatching(l *list.List, lab []int, K int, o Options) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m := o.machine()
+	r, err := matching.ScheduleMatching(m, l, lab, K)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Result{In: r.In, Size: r.Size, Stats: r.Stats, Detail: r}, nil
+}
+
+// Verify re-checks that in is a maximal matching of l.
+func Verify(l *list.List, in []bool) error { return matching.Verify(l, in) }

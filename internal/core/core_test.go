@@ -1,0 +1,247 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+)
+
+func TestMaximalMatchingDefaults(t *testing.T) {
+	l := list.RandomList(1000, 1)
+	res, err := MaximalMatching(l, Options{Processors: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(l, res.In); err != nil {
+		t.Fatal(err)
+	}
+	if res.Detail.Algorithm != "match4" {
+		t.Errorf("default algorithm = %q", res.Detail.Algorithm)
+	}
+	if res.Stats.Processors != 64 || res.Stats.Time == 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Size != res.Detail.Size {
+		t.Error("size mismatch")
+	}
+}
+
+func TestMaximalMatchingAllAlgorithms(t *testing.T) {
+	l := list.RandomList(512, 2)
+	for _, a := range []Algorithm{AlgoMatch1, AlgoMatch2, AlgoMatch3, AlgoMatch4, AlgoSequential, AlgoRandomized} {
+		res, err := MaximalMatching(l, Options{Algorithm: a, Processors: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if err := Verify(l, res.In); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+		if string(a) != res.Detail.Algorithm {
+			t.Errorf("%s: detail algorithm %q", a, res.Detail.Algorithm)
+		}
+	}
+}
+
+func TestMaximalMatchingUnknownAlgorithm(t *testing.T) {
+	l := list.SequentialList(4)
+	_, err := MaximalMatching(l, Options{Algorithm: "quantum"})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMaximalMatchingRejectsInvalidList(t *testing.T) {
+	bad := list.New([]int{0, list.Nil}, 0) // self-loop
+	if _, err := MaximalMatching(bad, Options{}); err == nil {
+		t.Error("invalid list accepted")
+	}
+}
+
+func TestMaximalMatchingVariants(t *testing.T) {
+	l := list.RandomList(256, 3)
+	for _, v := range []partition.Variant{partition.MSB, partition.LSB} {
+		res, err := MaximalMatching(l, Options{Variant: v, Processors: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", v, err)
+		}
+		if err := Verify(l, res.In); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestMaximalMatchingTableRoute(t *testing.T) {
+	l := list.RandomList(4096, 4)
+	res, err := MaximalMatching(l, Options{UseTable: true, I: 4, Processors: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detail.TableSize == 0 {
+		t.Error("table route reported no table")
+	}
+	if err := Verify(l, res.In); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionFacade(t *testing.T) {
+	l := list.RandomList(2048, 5)
+	lab, rng, err := Partition(l, 2, Options{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := partition.Verify(l, lab); err != nil {
+		t.Fatal(err)
+	}
+	if rng != partition.RangeAfter(2048, 2) {
+		t.Errorf("range = %d", rng)
+	}
+	if _, _, err := Partition(l, 0, Options{}); err == nil {
+		t.Error("i=0 accepted")
+	}
+}
+
+func TestThreeColorFacade(t *testing.T) {
+	l := list.RandomList(999, 6)
+	col, stats, err := ThreeColor(l, Options{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time == 0 {
+		t.Error("no stats recorded")
+	}
+	for v, s := range l.Next {
+		if s != list.Nil && col[v] == col[s] {
+			t.Fatal("improper colouring")
+		}
+		if col[v] < 0 || col[v] > 2 {
+			t.Fatal("colour out of range")
+		}
+	}
+}
+
+func TestMISFacade(t *testing.T) {
+	l := list.RandomList(777, 7)
+	mis, stats, err := MIS(l, Options{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Time == 0 {
+		t.Error("no stats")
+	}
+	pred := l.Pred()
+	for v, s := range l.Next {
+		if mis[v] && s != list.Nil && mis[s] {
+			t.Fatal("adjacent MIS members")
+		}
+		if !mis[v] {
+			pIn := pred[v] != list.Nil && mis[pred[v]]
+			sIn := s != list.Nil && mis[s]
+			if !pIn && !sIn {
+				t.Fatal("not maximal")
+			}
+		}
+	}
+}
+
+func TestRankFacade(t *testing.T) {
+	l := list.RandomList(600, 8)
+	rk, _, err := Rank(l, Options{Processors: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := l.Position()
+	for v := range rk {
+		if rk[v] != pos[v] {
+			t.Fatalf("rank[%d] = %d, want %d", v, rk[v], pos[v])
+		}
+	}
+}
+
+func TestPrefixFacade(t *testing.T) {
+	l := list.RandomList(100, 9)
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+	}
+	out, _, err := Prefix(l, vals, Options{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := 0
+	for v := l.Head; v != list.Nil; v = l.Next[v] {
+		acc += vals[v]
+		if out[v] != acc {
+			t.Fatalf("prefix[%d] = %d, want %d", v, out[v], acc)
+		}
+	}
+	if _, _, err := Prefix(l, vals[:50], Options{}); err == nil {
+		t.Error("mismatched values accepted")
+	}
+}
+
+func TestOptionsExecGoroutines(t *testing.T) {
+	l := list.RandomList(4000, 10)
+	res, err := MaximalMatching(l, Options{Processors: 32, Exec: pram.Goroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(l, res.In); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroProcessorsDefaultsToOne(t *testing.T) {
+	l := list.SequentialList(16)
+	res, err := MaximalMatching(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Processors != 1 {
+		t.Errorf("processors = %d", res.Stats.Processors)
+	}
+}
+
+func TestRankSchemes(t *testing.T) {
+	l := list.RandomList(3000, 12)
+	pos := l.Position()
+	for _, s := range []RankScheme{RankContraction, RankWyllie, RankLoadBalanced, RankRandomMate, ""} {
+		rk, stats, err := Rank(l, Options{Processors: 32, Rank: s})
+		if err != nil {
+			t.Fatalf("%q: %v", s, err)
+		}
+		if stats.Time == 0 {
+			t.Errorf("%q: no stats", s)
+		}
+		for v := range rk {
+			if rk[v] != pos[v] {
+				t.Fatalf("%q: rank mismatch at %d", s, v)
+			}
+		}
+	}
+	if _, _, err := Rank(l, Options{Rank: "sorcery"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestFacadesRejectInvalidLists(t *testing.T) {
+	bad := list.New([]int{0, list.Nil}, 0)
+	if _, _, err := ThreeColor(bad, Options{}); err == nil {
+		t.Error("ThreeColor accepted invalid list")
+	}
+	if _, _, err := MIS(bad, Options{}); err == nil {
+		t.Error("MIS accepted invalid list")
+	}
+	if _, _, err := Rank(bad, Options{}); err == nil {
+		t.Error("Rank accepted invalid list")
+	}
+	if _, _, err := Prefix(bad, []int{1, 2}, Options{}); err == nil {
+		t.Error("Prefix accepted invalid list")
+	}
+	if _, _, err := Partition(bad, 1, Options{}); err == nil {
+		t.Error("Partition accepted invalid list")
+	}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parlist/internal/bits"
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/sortint"
+)
+
+// evalFor returns a direct MSB evaluator wide enough for n.
+func evalFor(n int) *partition.Evaluator {
+	w := 1
+	for v := 2; v < n; v *= 2 {
+		w++
+	}
+	if w < 2 {
+		w = 2
+	}
+	return partition.NewEvaluator(partition.MSB, w)
+}
+
+// runE1 measures the number of matching sets one application of f
+// produces versus Lemma 1's 2⌈log n⌉ bound, per generator.
+func runE1(cfg Config) ([]*Table, error) {
+	t := &Table{
+		Title:  "E1 — matching sets after one application of f",
+		Note:   "bound: 2⌈log n⌉ (Lemma 1); sets = distinct pointer labels",
+		Header: []string{"n", "generator", "sets", "bound", "sets/bound"},
+	}
+	hi := 20
+	if cfg.Quick {
+		hi = 14
+	}
+	for _, n := range pow2s(10, hi, 2) {
+		for _, g := range list.Generators() {
+			l := g.Make(n, cfg.Seed)
+			m := pram.New(64)
+			lab := partition.Iterate(m, l, evalFor(n), 1)
+			if err := partition.Verify(l, lab); err != nil {
+				return nil, err
+			}
+			sets := partition.DistinctCount(l, lab)
+			bound := 2 * bits.CeilLog2(n)
+			t.Add(n, g.Name, sets, bound, float64(sets)/float64(bound))
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runE2 measures set counts under f^(k) versus 2·log^(k-1) n (1+o(1)).
+func runE2(cfg Config) ([]*Table, error) {
+	t := &Table{
+		Title:  "E2 — matching sets after k applications of f (random lists)",
+		Note:   "Lemma 2 bound: 2·log^(k-1) n (1+o(1)); range = label-range bound RangeAfter(n,k)",
+		Header: []string{"n", "k", "sets", "2·log^(k-1)n", "range-bound", "verified"},
+	}
+	ns := []int{1 << 12, 1 << 16, 1 << 20}
+	if cfg.Quick {
+		ns = []int{1 << 12, 1 << 14}
+	}
+	for _, n := range ns {
+		l := list.RandomList(n, cfg.Seed)
+		for k := 1; k <= 6; k++ {
+			m := pram.New(64)
+			lab := partition.Iterate(m, l, evalFor(n), k)
+			err := partition.Verify(l, lab)
+			ok := "yes"
+			if err != nil {
+				ok = "NO: " + err.Error()
+			}
+			sets := partition.DistinctCount(l, lab)
+			pred := 2 * bits.LogIter(n, k-1)
+			if k == 1 {
+				pred = 2 * bits.CeilLog2(n)
+			}
+			t.Add(n, k, sets, pred, partition.RangeAfter(n, k), ok)
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runE3 sweeps processors for Match1 against O(nG(n)/p + G(n)).
+func runE3(cfg Config) ([]*Table, error) {
+	n := 1 << 18
+	if cfg.Quick {
+		n = 1 << 14
+	}
+	g := int64(bits.G(n))
+	t := &Table{
+		Title:  fmt.Sprintf("E3 — Match1 step counts, n = %d, G(n) = %d", n, g),
+		Note:   "predicted = n·G(n)/p + G(n); efficiency = T1/(p·T), T1 = n",
+		Header: []string{"p", "time", "predicted", "time/pred", "work", "efficiency"},
+	}
+	l := list.RandomList(n, cfg.Seed)
+	for _, p := range procSweep(n, cfg) {
+		m := pram.New(p)
+		r := matching.Match1(m, l, nil)
+		if err := matching.Verify(l, r.In); err != nil {
+			return nil, err
+		}
+		pred := int64(n)*g/int64(p) + g
+		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.Stats.Work, r.Stats.Efficiency(int64(n)))
+	}
+	return []*Table{t}, nil
+}
+
+// runE4 sweeps processors for Match2 and reports the sort share.
+func runE4(cfg Config) ([]*Table, error) {
+	n := 1 << 18
+	if cfg.Quick {
+		n = 1 << 14
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("E4 — Match2 step counts, n = %d", n),
+		Note:   "predicted = n/p + log n; sort%% = share of time in the global sort (the step §3 eliminates)",
+		Header: []string{"p", "time", "predicted", "time/pred", "sort%", "efficiency"},
+	}
+	l := list.RandomList(n, cfg.Seed)
+	logn := int64(bits.CeilLog2(n))
+	for _, p := range procSweep(n, cfg) {
+		m := pram.New(p)
+		r := matching.Match2(m, l, nil)
+		if err := matching.Verify(l, r.In); err != nil {
+			return nil, err
+		}
+		var sortTime int64
+		for _, ph := range r.Stats.Phases {
+			if ph.Name == "sort" {
+				sortTime = ph.Time
+			}
+		}
+		pred := int64(n)/int64(p) + logn
+		pct := 100 * float64(sortTime) / float64(r.Stats.Time)
+		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), fmt.Sprintf("%.1f", pct), r.Stats.Efficiency(int64(n)))
+	}
+	return []*Table{t}, nil
+}
+
+// runE5 sweeps processors for Match3 with the CRCW O(1) table build.
+func runE5(cfg Config) ([]*Table, error) {
+	n := 1 << 18
+	if cfg.Quick {
+		n = 1 << 14
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("E5 — Match3 step counts, n = %d, logG(n) = %d", n, bits.LogG(n)),
+		Note:   "predicted = n·logG(n)/p + logG(n); table built in O(1) CRCW time as in [7]; table size < n",
+		Header: []string{"p", "time", "predicted", "time/pred", "table", "table<n", "efficiency"},
+	}
+	l := list.RandomList(n, cfg.Seed)
+	for _, p := range procSweep(n, cfg) {
+		m := pram.New(p)
+		r, err := matching.Match3(m, l, nil, matching.Match3Config{CRCWBuild: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := matching.Verify(l, r.In); err != nil {
+			return nil, err
+		}
+		pred := matching.Match3Predicted(n, p)
+		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.TableSize,
+			fmt.Sprint(r.TableSize < n), r.Stats.Efficiency(int64(n)))
+	}
+	return []*Table{t}, nil
+}
+
+// runE6 validates the WalkDown2 schedule: Lemma 7 (marked at step
+// A[r]+r), Corollary 1 (all marked within 2x-1 steps), Corollary 2
+// (processors sharing a row at a step see equal values).
+func runE6(cfg Config) ([]*Table, error) {
+	t := &Table{
+		Title:  "E6 — WalkDown2 schedule checks",
+		Note:   "y sorted random columns of x labels each; all three properties must hold on every column",
+		Header: []string{"x", "y", "lemma7", "corollary1", "corollary2"},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shapes := [][2]int{{4, 16}, {16, 64}, {64, 256}, {256, 64}}
+	if cfg.Quick {
+		shapes = [][2]int{{4, 8}, {16, 16}}
+	}
+	for _, sh := range shapes {
+		x, y := sh[0], sh[1]
+		lemma7, cor1 := 0, 0
+		// stepRow[k] gathers (row → value) pairs per step for Corollary 2.
+		type rv struct{ row, val int }
+		stepRows := make(map[int][]rv)
+		for c := 0; c < y; c++ {
+			a := make([]int, x)
+			for i := range a {
+				a[i] = rng.Intn(x)
+			}
+			sortint.SequentialByKeyInPlace(a, x)
+			marks := matching.WalkDown2Trace(a)
+			for r, k := range marks {
+				if k < 0 {
+					continue
+				}
+				cor1++
+				if a[r] == k-r {
+					lemma7++
+				}
+				stepRows[k] = append(stepRows[k], rv{row: r, val: a[r]})
+			}
+		}
+		cor2 := true
+		for _, entries := range stepRows {
+			byRow := map[int]int{}
+			for _, e := range entries {
+				if prev, ok := byRow[e.row]; ok && prev != e.val {
+					cor2 = false
+				}
+				byRow[e.row] = e.val
+			}
+		}
+		t.Add(x, y,
+			fmt.Sprintf("%d/%d", lemma7, x*y),
+			fmt.Sprintf("%d/%d", cor1, x*y),
+			fmt.Sprint(cor2))
+	}
+	return []*Table{t}, nil
+}
+
+// procSweep returns the processor counts swept in timing experiments.
+func procSweep(n int, cfg Config) []int {
+	hi := bits.CeilLog2(n)
+	st := 2
+	if cfg.Quick {
+		st = 4
+	}
+	ps := pow2s(0, hi, st)
+	if ps[len(ps)-1] != n {
+		ps = append(ps, n)
+	}
+	return ps
+}

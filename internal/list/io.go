@@ -1,0 +1,103 @@
+package list
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: the magic "PLST", a uint32 version, uint64 n, uint64
+// head, then n little-endian int64 successor values (Nil encoded as-is).
+// The format is self-describing enough for the CLI tools to pass lists
+// between runs and for snapshot files in tests.
+
+var ioMagic = [4]byte{'P', 'L', 'S', 'T'}
+
+const ioVersion = 1
+
+// WriteTo serializes the list. It implements io.WriterTo.
+func (l *List) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(data interface{}) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if err := put(ioMagic); err != nil {
+		return written, fmt.Errorf("list: write header: %w", err)
+	}
+	if err := put(uint32(ioVersion)); err != nil {
+		return written, fmt.Errorf("list: write version: %w", err)
+	}
+	if err := put(uint64(len(l.Next))); err != nil {
+		return written, fmt.Errorf("list: write size: %w", err)
+	}
+	if err := put(uint64(l.Head)); err != nil {
+		return written, fmt.Errorf("list: write head: %w", err)
+	}
+	buf := make([]int64, len(l.Next))
+	for i, v := range l.Next {
+		buf[i] = int64(v)
+	}
+	if err := put(buf); err != nil {
+		return written, fmt.Errorf("list: write pointers: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("list: flush: %w", err)
+	}
+	return written, nil
+}
+
+// MaxReadNodes bounds deserialization to guard against corrupt or
+// hostile inputs.
+const MaxReadNodes = 1 << 28
+
+// Read deserializes a list written by WriteTo and validates its
+// structure.
+func Read(r io.Reader) (*List, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("list: read header: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("list: bad magic %q", magic[:])
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("list: read version: %w", err)
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("list: unsupported version %d", version)
+	}
+	var n, head uint64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("list: read size: %w", err)
+	}
+	if n == 0 || n > MaxReadNodes {
+		return nil, fmt.Errorf("list: implausible size %d", n)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &head); err != nil {
+		return nil, fmt.Errorf("list: read head: %w", err)
+	}
+	if head >= n {
+		return nil, fmt.Errorf("list: head %d out of range [0,%d)", head, n)
+	}
+	buf := make([]int64, n)
+	if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+		return nil, fmt.Errorf("list: read pointers: %w", err)
+	}
+	next := make([]int, n)
+	for i, v := range buf {
+		next[i] = int(v)
+	}
+	l := New(next, int(head))
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("list: deserialized structure invalid: %w", err)
+	}
+	return l, nil
+}

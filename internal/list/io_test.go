@@ -1,0 +1,99 @@
+package list
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, g := range Generators() {
+		for _, n := range []int{1, 2, 7, 1000} {
+			l := g.Make(n, 13)
+			var buf bytes.Buffer
+			wn, err := l.WriteTo(&buf)
+			if err != nil {
+				t.Fatalf("%s n=%d: write: %v", g.Name, n, err)
+			}
+			if wn != int64(buf.Len()) {
+				t.Errorf("%s n=%d: reported %d bytes, wrote %d", g.Name, n, wn, buf.Len())
+			}
+			got, err := Read(&buf)
+			if err != nil {
+				t.Fatalf("%s n=%d: read: %v", g.Name, n, err)
+			}
+			if got.Head != l.Head {
+				t.Fatalf("%s n=%d: head %d != %d", g.Name, n, got.Head, l.Head)
+			}
+			for i := range l.Next {
+				if got.Next[i] != l.Next[i] {
+					t.Fatalf("%s n=%d: Next[%d] differs", g.Name, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := SequentialList(4).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] = 'X'
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v", err)
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := SequentialList(4).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99
+	if _, err := Read(bytes.NewReader(data)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: err = %v", err)
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := SequentialList(100).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{0, 3, 7, 15, 20, len(data) - 8, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruptStructure(t *testing.T) {
+	var buf bytes.Buffer
+	l := SequentialList(4)
+	l.Next[2] = 0 // creates in-degree 2 / cycle
+	if _, err := l.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Error("invalid structure accepted")
+	}
+}
+
+func TestReadRejectsImplausibleSize(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := SequentialList(4).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Overwrite the size field (offset 8, little-endian uint64).
+	for i := 0; i < 8; i++ {
+		data[8+i] = 0xFF
+	}
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("gigantic size accepted")
+	}
+}

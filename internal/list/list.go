@@ -1,0 +1,282 @@
+// Package list provides array-stored linked lists in the paper's
+// representation: the n nodes live in an array X[0..n-1] and NEXT[i]
+// holds the index of the element following X[i] (Fig. 1). The node's
+// array index is its "address"; matching partition functions operate on
+// those addresses.
+package list
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Nil marks the absence of a successor (the paper's nil pointer).
+const Nil = -1
+
+// List is a linked list of n nodes stored in an array. Next[i] is the
+// address of the successor of node i, or Nil for the last node. Head is
+// the address of the first node.
+type List struct {
+	Next []int
+	Head int
+}
+
+// New wraps a successor array and head address as a List. It does not
+// validate; call Validate for structural checks.
+func New(next []int, head int) *List {
+	return &List{Next: next, Head: head}
+}
+
+// Len returns the number of nodes.
+func (l *List) Len() int { return len(l.Next) }
+
+// Succ returns the successor address of node v (suc(v)), or Nil.
+func (l *List) Succ(v int) int { return l.Next[v] }
+
+// Tail returns the address of the last node (the one with Next = Nil).
+// It scans the array; O(n).
+func (l *List) Tail() int {
+	for i, nx := range l.Next {
+		if nx == Nil {
+			return i
+		}
+	}
+	return Nil
+}
+
+// Pred computes the predecessor array: pred[v] = u with Next[u] = v, or
+// Nil for the head.
+func (l *List) Pred() []int {
+	pred := make([]int, len(l.Next))
+	for i := range pred {
+		pred[i] = Nil
+	}
+	for u, v := range l.Next {
+		if v != Nil {
+			pred[v] = u
+		}
+	}
+	return pred
+}
+
+// Order returns the node addresses in list order, head first.
+func (l *List) Order() []int {
+	out := make([]int, 0, len(l.Next))
+	for v := l.Head; v != Nil; v = l.Next[v] {
+		out = append(out, v)
+		if len(out) > len(l.Next) {
+			panic("list: Order on a cyclic list")
+		}
+	}
+	return out
+}
+
+// Position returns pos[v] = rank of node v from the head (head = 0).
+func (l *List) Position() []int {
+	pos := make([]int, len(l.Next))
+	for i := range pos {
+		pos[i] = -1
+	}
+	r := 0
+	for v := l.Head; v != Nil; v = l.Next[v] {
+		pos[v] = r
+		r++
+		if r > len(l.Next) {
+			panic("list: Position on a cyclic list")
+		}
+	}
+	return pos
+}
+
+// Clone returns a deep copy of the list.
+func (l *List) Clone() *List {
+	nx := make([]int, len(l.Next))
+	copy(nx, l.Next)
+	return &List{Next: nx, Head: l.Head}
+}
+
+// Validate checks that the structure is a single nil-terminated list
+// covering all n nodes: indices in range, exactly one tail, in-degrees
+// at most one, and all nodes reachable from Head.
+func (l *List) Validate() error {
+	n := len(l.Next)
+	if n == 0 {
+		return errors.New("list: empty")
+	}
+	if l.Head < 0 || l.Head >= n {
+		return fmt.Errorf("list: head %d out of range [0,%d)", l.Head, n)
+	}
+	tails := 0
+	indeg := make([]int, n)
+	for u, v := range l.Next {
+		switch {
+		case v == Nil:
+			tails++
+		case v < 0 || v >= n:
+			return fmt.Errorf("list: Next[%d] = %d out of range", u, v)
+		case v == u:
+			return fmt.Errorf("list: self-loop at %d", u)
+		default:
+			indeg[v]++
+			if indeg[v] > 1 {
+				return fmt.Errorf("list: node %d has in-degree > 1", v)
+			}
+		}
+	}
+	if tails != 1 {
+		return fmt.Errorf("list: %d tails, want 1", tails)
+	}
+	if indeg[l.Head] != 0 {
+		return fmt.Errorf("list: head %d has a predecessor", l.Head)
+	}
+	seen := 0
+	for v := l.Head; v != Nil; v = l.Next[v] {
+		seen++
+		if seen > n {
+			return errors.New("list: cycle reachable from head")
+		}
+	}
+	if seen != n {
+		return fmt.Errorf("list: %d of %d nodes reachable from head", seen, n)
+	}
+	return nil
+}
+
+// PointerCount returns the number of real pointers, n-1.
+func (l *List) PointerCount() int { return len(l.Next) - 1 }
+
+// IsForward reports whether the pointer out of node a is a forward
+// pointer (head address greater than tail address, b > a). Panics when a
+// is the list tail (it has no pointer).
+func (l *List) IsForward(a int) bool {
+	b := l.Next[a]
+	if b == Nil {
+		panic(fmt.Sprintf("list: IsForward on tail node %d", a))
+	}
+	return b > a
+}
+
+// FromOrder builds a list whose traversal visits the given addresses in
+// order. order must be a permutation of [0,n).
+func FromOrder(order []int) *List {
+	n := len(order)
+	next := make([]int, n)
+	for i := range next {
+		next[i] = Nil
+	}
+	for i := 0; i+1 < n; i++ {
+		next[order[i]] = order[i+1]
+	}
+	return &List{Next: next, Head: order[0]}
+}
+
+// SequentialList returns the list 0 → 1 → ... → n-1: every pointer is a
+// forward pointer.
+func SequentialList(n int) *List {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return FromOrder(order)
+}
+
+// ReversedList returns the list n-1 → n-2 → ... → 0: every pointer is a
+// backward pointer.
+func ReversedList(n int) *List {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	return FromOrder(order)
+}
+
+// RandomList returns a list visiting a uniformly random permutation of
+// the addresses, seeded deterministically.
+func RandomList(n int, seed int64) *List {
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(n)
+	return FromOrder(order)
+}
+
+// ZigZagList returns the order 0, n-1, 1, n-2, ...: pointers alternate
+// maximally-long forward and backward, the adversarial case for
+// bisection-based intuition.
+func ZigZagList(n int) *List {
+	order := make([]int, 0, n)
+	lo, hi := 0, n-1
+	for lo <= hi {
+		order = append(order, lo)
+		lo++
+		if lo <= hi {
+			order = append(order, hi)
+			hi--
+		}
+	}
+	return FromOrder(order)
+}
+
+// BlockedList splits the address space into blocks of the given size,
+// visits blocks in random order but addresses within a block
+// consecutively — lists with locality, as produced by block-wise
+// allocation.
+func BlockedList(n, blockSize int, seed int64) *List {
+	if blockSize < 1 {
+		panic(fmt.Sprintf("list: BlockedList blockSize %d < 1", blockSize))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nb := (n + blockSize - 1) / blockSize
+	blocks := rng.Perm(nb)
+	order := make([]int, 0, n)
+	for _, b := range blocks {
+		for i := b * blockSize; i < (b+1)*blockSize && i < n; i++ {
+			order = append(order, i)
+		}
+	}
+	return FromOrder(order)
+}
+
+// Generator names a list generator for harness sweeps.
+type Generator struct {
+	Name string
+	Make func(n int, seed int64) *List
+}
+
+// Generators returns the standard generator set used by experiments.
+func Generators() []Generator {
+	return []Generator{
+		{Name: "random", Make: func(n int, seed int64) *List { return RandomList(n, seed) }},
+		{Name: "sequential", Make: func(n int, _ int64) *List { return SequentialList(n) }},
+		{Name: "reversed", Make: func(n int, _ int64) *List { return ReversedList(n) }},
+		{Name: "zigzag", Make: func(n int, _ int64) *List { return ZigZagList(n) }},
+		{Name: "blocked", Make: func(n int, seed int64) *List { return BlockedList(n, 64, seed) }},
+	}
+}
+
+// RenderBisection draws the Fig.-2 view: the array with its bisecting
+// line and, for each pointer crossing the midline, whether it is a
+// forward (>) or backward (<) crosser. Intended for small n in CLI
+// demos.
+func (l *List) RenderBisection() string {
+	n := len(l.Next)
+	var b strings.Builder
+	mid := n / 2
+	fmt.Fprintf(&b, "array [0..%d], bisecting line c between %d and %d\n", n-1, mid-1, mid)
+	for a, v := range l.Next {
+		if v == Nil {
+			continue
+		}
+		crosses := (a < mid) != (v < mid)
+		dir := "<"
+		if v > a {
+			dir = ">"
+		}
+		mark := " "
+		if crosses {
+			mark = "c"
+		}
+		fmt.Fprintf(&b, "  <%2d,%2d> %s %s\n", a, v, dir, mark)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package matching
+
+import (
+	"fmt"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+// logCeil returns ⌈log₂ x⌉ for x ≥ 1 without importing bits (avoids an
+// import cycle risk and keeps the accounting helper local).
+func logCeil(x int) int {
+	l := 0
+	for v := 1; v < x; v *= 2 {
+		l++
+	}
+	return l
+}
+
+// MaxSublistLen bounds the length of a sublist produced by cutting at
+// local label minima when pointer labels are drawn from [0, r): a
+// sublist consists of at most one strictly increasing and one strictly
+// decreasing run of labels, each of length < r.
+func MaxSublistLen(r int) int { return 2 * r }
+
+// CutAndWalk performs steps 3 and 4 of Match1 on an arbitrary proper
+// pointer labelling (consecutive pointers carry different labels, values
+// in [0, labelRange)):
+//
+//	Step 3: delete pointer ⟨v, suc(v)⟩ whenever label[pre(v)] > label[v]
+//	        and label[v] < label[suc(v)] (an interior local minimum);
+//	        after this the list is cut into sublists of at most
+//	        MaxSublistLen(labelRange) nodes.
+//	Step 4: walk down each sublist adding every other pointer, starting
+//	        with the first; then a fix-up round admits any deleted
+//	        pointer whose neighbours both stayed unmatched (this can
+//	        only happen at the list's trailing cut, and no two cut
+//	        pointers are adjacent, so fix-ups never conflict).
+//
+// labelRange must be a constant for the O(n/p) bound to hold; the walk
+// round is charged MaxSublistLen(labelRange) per item via ParForCost.
+// pred may be nil (it is then computed, costing one extra round).
+func CutAndWalk(m *pram.Machine, l *list.List, lab []int, labelRange int, pred []int) []bool {
+	n := l.Len()
+	if len(lab) != n {
+		panic(fmt.Sprintf("matching: CutAndWalk labels %d, want %d", len(lab), n))
+	}
+	if labelRange < 2 {
+		panic(fmt.Sprintf("matching: CutAndWalk labelRange %d < 2", labelRange))
+	}
+	if pred == nil {
+		pred = predPar(m, l)
+	}
+	in := make([]bool, n)
+	if n < 2 {
+		return in
+	}
+
+	isPtr := func(v int) bool { return l.Next[v] != list.Nil }
+
+	// Step 3: interior local minima. cut[v] refers to pointer ⟨v,suc(v)⟩.
+	cut := make([]bool, n)
+	m.ParFor(n, func(v int) {
+		if !isPtr(v) {
+			return
+		}
+		p := pred[v]
+		s := l.Next[v]
+		if p == list.Nil || !isPtr(s) {
+			return // boundary pointers are never cut
+		}
+		cut[v] = lab[p] > lab[v] && lab[v] < lab[s]
+	})
+
+	// Step 4: sublist starts are surviving pointers whose predecessor
+	// pointer is missing or cut. Each start walks its sublist choosing
+	// alternate pointers; sublists are disjoint so writes never collide.
+	maxLen := MaxSublistLen(labelRange)
+	m.ParForCost(n, int64(maxLen), func(v int) {
+		if !isPtr(v) || cut[v] {
+			return
+		}
+		p := pred[v]
+		if p != list.Nil && isPtr(p) && !cut[p] {
+			return // interior of a sublist
+		}
+		steps := 0
+		for u := v; u != list.Nil && isPtr(u) && !cut[u]; {
+			in[u] = true
+			steps += 2
+			if steps > maxLen+2 {
+				panic("matching: sublist exceeded the constant bound")
+			}
+			u = l.Next[u]
+			if u == list.Nil || !isPtr(u) || cut[u] {
+				break
+			}
+			u = l.Next[u]
+		}
+	})
+
+	// Fix-up: a cut pointer both of whose neighbour pointers stayed
+	// unmatched is safe to admit (its neighbours are never cut
+	// themselves, and two cut pointers are never adjacent).
+	m.ParFor(n, func(v int) {
+		if !isPtr(v) || !cut[v] {
+			return
+		}
+		p := pred[v]
+		s := l.Next[v]
+		prevIn := p != list.Nil && in[p]
+		nextIn := isPtr(s) && in[s]
+		if !prevIn && !nextIn {
+			in[v] = true
+		}
+	})
+	return in
+}

@@ -1,0 +1,156 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+)
+
+// properLabels builds a random proper pointer labelling (consecutive
+// pointers differ) with values in [0, r).
+func properLabels(l *list.List, r int, rng *rand.Rand) []int {
+	lab := make([]int, l.Len())
+	prev := -1
+	for v := l.Head; v != list.Nil; v = l.Next[v] {
+		for {
+			lab[v] = rng.Intn(r)
+			if lab[v] != prev {
+				break
+			}
+		}
+		prev = lab[v]
+	}
+	return lab
+}
+
+func TestCutAndWalkOnRandomProperLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{2, 3, 4, 5, 10, 57, 500} {
+		for _, r := range []int{2, 3, 6} {
+			for trial := 0; trial < 20; trial++ {
+				l := list.RandomList(n, rng.Int63())
+				lab := properLabels(l, r, rng)
+				m := pram.New(7)
+				in := CutAndWalk(m, l, lab, r, nil)
+				if err := Verify(l, in); err != nil {
+					t.Fatalf("n=%d r=%d trial=%d: %v\nlab=%v", n, r, trial, err, lab)
+				}
+			}
+		}
+	}
+}
+
+func TestCutAndWalkQuickProperty(t *testing.T) {
+	check := func(seed int64, nn uint16) bool {
+		n := int(nn)%300 + 2
+		rng := rand.New(rand.NewSource(seed))
+		l := list.RandomList(n, seed)
+		lab := properLabels(l, 3, rng)
+		m := pram.New(5)
+		in := CutAndWalk(m, l, lab, 3, nil)
+		return Verify(l, in) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCutAndWalkWorstCaseMonotoneLabels(t *testing.T) {
+	// Strictly increasing then decreasing label patterns (no interior
+	// minima at all on long stretches).
+	n := 60
+	l := list.SequentialList(n)
+	lab := make([]int, n)
+	r := 6
+	// Saw-tooth: 0,1,2,3,4,5,4,3,2,1,0,1,... only minima at the valleys.
+	v, dir := 0, 1
+	for i := 0; i < n; i++ {
+		lab[i] = v
+		v += dir
+		if v == r-1 || v == 0 {
+			dir = -dir
+		}
+	}
+	m := pram.New(4)
+	in := CutAndWalk(m, l, lab, r, nil)
+	if err := Verify(l, in); err != nil {
+		t.Fatalf("saw-tooth: %v", err)
+	}
+}
+
+func TestCutAndWalkConstantSublistCharge(t *testing.T) {
+	// Accounting: the walk round must be charged MaxSublistLen(r)·⌈n/p⌉,
+	// keeping total time O(n/p) for constant r.
+	n, p := 10000, 100
+	l := list.RandomList(n, 2)
+	m := pram.New(p)
+	e := partition.NewEvaluator(partition.MSB, 16)
+	lab := partition.Iterate(m, l, e, partition.IterationsToRange(n, 6))
+	base := m.Time()
+	CutAndWalk(m, l, lab, 6, nil)
+	elapsed := m.Time() - base
+	// pred (2) + cut (1) + walk (12) + fixup (1) rounds of n/p.
+	want := int64(16 * n / p)
+	if elapsed > want+20 {
+		t.Errorf("CutAndWalk time %d exceeds %d", elapsed, want+20)
+	}
+}
+
+func TestCutAndWalkPanicsOnBadInput(t *testing.T) {
+	l := list.SequentialList(4)
+	m := pram.New(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("short labels did not panic")
+			}
+		}()
+		CutAndWalk(m, l, []int{1}, 3, nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("labelRange 1 did not panic")
+			}
+		}()
+		CutAndWalk(m, l, []int{0, 1, 0, 1}, 1, nil)
+	}()
+}
+
+func TestCutAndWalkTinyLists(t *testing.T) {
+	m := pram.New(2)
+	l1 := list.SequentialList(1)
+	if in := CutAndWalk(m, l1, []int{0}, 3, nil); in[0] {
+		t.Error("n=1 produced a matched pointer")
+	}
+	l2 := list.SequentialList(2)
+	in := CutAndWalk(m, l2, []int{0, 1}, 3, nil)
+	if !in[0] || in[1] {
+		t.Errorf("n=2: in = %v, want [true false]", in)
+	}
+}
+
+func TestMaxSublistLen(t *testing.T) {
+	if MaxSublistLen(3) != 6 || MaxSublistLen(6) != 12 {
+		t.Error("MaxSublistLen wrong")
+	}
+}
+
+func TestCutAndWalkAcceptsPrecomputedPred(t *testing.T) {
+	l := list.RandomList(50, 3)
+	rng := rand.New(rand.NewSource(1))
+	lab := properLabels(l, 3, rng)
+	m := pram.New(4)
+	in1 := CutAndWalk(m, l, lab, 3, nil)
+	m2 := pram.New(4)
+	in2 := CutAndWalk(m2, l, lab, 3, predPar(m2, l))
+	for v := range in1 {
+		if in1[v] != in2[v] {
+			t.Fatal("pred argument changed the result")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package matching
+
+import (
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+// Native fuzz targets: `go test` runs the seed corpus as regression
+// tests; `go test -fuzz=FuzzMatch4` explores further.
+
+func FuzzMatch4(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(3), uint8(4), false)
+	f.Add(int64(7), uint16(2), uint8(1), uint8(1), true)
+	f.Add(int64(42), uint16(4097), uint8(2), uint8(16), false)
+	f.Fuzz(func(t *testing.T, seed int64, nn uint16, ii uint8, pp uint8, via bool) {
+		n := int(nn)%5000 + 2
+		i := int(ii)%4 + 1
+		p := int(pp)%256 + 1
+		l := list.RandomList(n, seed)
+		m := pram.New(p)
+		r, err := Match4(m, l, nil, Match4Config{I: i, ViaColoring: via})
+		if err != nil {
+			t.Fatalf("n=%d i=%d p=%d: %v", n, i, p, err)
+		}
+		if err := Verify(l, r.In); err != nil {
+			t.Fatalf("n=%d i=%d p=%d via=%v: %v", n, i, p, via, err)
+		}
+	})
+}
+
+func FuzzCutAndWalk(f *testing.F) {
+	f.Add(int64(1), []byte{0, 1, 2, 1, 0, 2})
+	f.Add(int64(2), []byte{2, 2, 2})
+	f.Add(int64(3), []byte{0})
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		n := len(raw)
+		if n < 1 || n > 4096 {
+			return
+		}
+		l := list.RandomList(n, seed)
+		// Build labels from the fuzz bytes, repaired into a proper
+		// labelling along the list (consecutive pointers must differ).
+		lab := make([]int, n)
+		prev := -1
+		for v := l.Head; v != list.Nil; v = l.Next[v] {
+			c := int(raw[v]) % 3
+			if c == prev {
+				c = (c + 1) % 3
+			}
+			lab[v] = c
+			prev = c
+		}
+		m := pram.New(9)
+		in := CutAndWalk(m, l, lab, 3, nil)
+		if err := Verify(l, in); err != nil {
+			t.Fatalf("n=%d: %v (labels %v)", n, err, lab)
+		}
+	})
+}
+
+func FuzzMatch2(f *testing.F) {
+	f.Add(int64(5), uint16(17), uint8(3))
+	f.Add(int64(9), uint16(1000), uint8(64))
+	f.Fuzz(func(t *testing.T, seed int64, nn uint16, pp uint8) {
+		n := int(nn)%4000 + 2
+		p := int(pp)%128 + 1
+		l := list.RandomList(n, seed)
+		m := pram.New(p)
+		if err := Verify(l, Match2(m, l, nil).In); err != nil {
+			t.Fatalf("n=%d p=%d: %v", n, p, err)
+		}
+	})
+}

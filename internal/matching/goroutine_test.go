@@ -1,0 +1,56 @@
+package matching
+
+import (
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+// TestGoroutineExecutorAllAlgorithms runs every algorithm under the
+// goroutine executor (the real-parallelism substitution) and checks
+// both the matchings and the step-count agreement with the sequential
+// executor.
+func TestGoroutineExecutorAllAlgorithms(t *testing.T) {
+	n := 30000
+	l := list.RandomList(n, 77)
+	type algo struct {
+		name string
+		run  func(m *pram.Machine) (*Result, error)
+	}
+	algos := []algo{
+		{"match1", func(m *pram.Machine) (*Result, error) { return Match1(m, l, nil), nil }},
+		{"match2", func(m *pram.Machine) (*Result, error) { return Match2(m, l, nil), nil }},
+		{"match3", func(m *pram.Machine) (*Result, error) {
+			return Match3(m, l, nil, Match3Config{})
+		}},
+		{"match4", func(m *pram.Machine) (*Result, error) {
+			return Match4(m, l, nil, Match4Config{I: 3})
+		}},
+		{"match4-table", func(m *pram.Machine) (*Result, error) {
+			return Match4(m, l, nil, Match4Config{I: 4, UseTable: true})
+		}},
+		{"match4-coloring", func(m *pram.Machine) (*Result, error) {
+			return Match4(m, l, nil, Match4Config{I: 2, ViaColoring: true})
+		}},
+	}
+	for _, a := range algos {
+		mSeq := pram.New(64)
+		rSeq, err := a.run(mSeq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", a.name, err)
+		}
+		mGo := pram.New(64, pram.WithExec(pram.Goroutines), pram.WithWorkers(4))
+		rGo, err := a.run(mGo)
+		if err != nil {
+			t.Fatalf("%s goroutines: %v", a.name, err)
+		}
+		if err := Verify(l, rGo.In); err != nil {
+			t.Errorf("%s goroutines: %v", a.name, err)
+		}
+		if rSeq.Stats.Time != rGo.Stats.Time || rSeq.Stats.Work != rGo.Stats.Work {
+			t.Errorf("%s: executors disagree on accounting: %d/%d vs %d/%d",
+				a.name, rSeq.Stats.Time, rSeq.Stats.Work, rGo.Stats.Time, rGo.Stats.Work)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package matching
+
+import (
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+)
+
+// width returns the bit width needed for addresses in [0, n).
+func width(n int) int {
+	w := 1
+	for v := 2; v < n; v *= 2 {
+		w++
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// constantRange is the label-range size at which iterated applications
+// of f stop shrinking (NextRange's fixed point): the "constant number of
+// nodes" per sublist that Match1's comment refers to.
+const constantRange = 6
+
+// Match1 computes a maximal matching with the Han / Cole–Vishkin
+// iterated deterministic coin tossing algorithm (Lemma 3):
+//
+//	Step 1. label[v] := address of v.
+//	Step 2. for i := 1 to G(n): label[v] := f(⟨label[v], label[suc(v)]⟩)
+//	        in parallel — after which labels lie in a constant range.
+//	Step 3. delete pointer ⟨v, suc(v)⟩ at interior local label minima.
+//	Step 4. walk down each (constant-length) sublist adding every other
+//	        pointer.
+//
+// Time O(nG(n)/p + G(n)); not optimal. e selects the matching partition
+// function evaluator (nil → direct MSB evaluator sized for n).
+func Match1(m *pram.Machine, l *list.List, e *partition.Evaluator) *Result {
+	n := l.Len()
+	if n < 2 {
+		return &Result{Algorithm: "match1", In: make([]bool, n), Stats: m.Snapshot()}
+	}
+	if e == nil {
+		e = partition.NewEvaluator(partition.MSB, width(n))
+	}
+	chargeEvaluatorReplication(m, e)
+	m.Phase("partition")
+	iters := partition.IterationsToRange(n, constantRange)
+	lab := partition.Iterate(m, l, e, iters)
+	m.Phase("cut+walk")
+	in := CutAndWalk(m, l, lab, constantRange, nil)
+	return &Result{
+		Algorithm: "match1",
+		In:        in,
+		Size:      Count(in),
+		Sets:      constantRange,
+		Rounds:    iters,
+		Stats:     m.Snapshot(),
+	}
+}
+
+// PartitionIterated implements the first half of Lemma 3: partition the
+// pointers into O(log^(i) n) matching sets in O(i·n/p) time by i
+// applications of f. It returns the labels and the label-range size.
+func PartitionIterated(m *pram.Machine, l *list.List, e *partition.Evaluator, i int) ([]int, int) {
+	n := l.Len()
+	if e == nil {
+		e = partition.NewEvaluator(partition.MSB, width(n))
+	}
+	lab := partition.Iterate(m, l, e, i)
+	return lab, partition.RangeAfter(n, i)
+}

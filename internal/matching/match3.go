@@ -1,0 +1,149 @@
+package matching
+
+import (
+	"fmt"
+
+	"parlist/internal/bits"
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/table"
+)
+
+// Match3Config tunes the table-lookup algorithm.
+type Match3Config struct {
+	// MaxTableSize caps the lookup table (≤ 0 → min(n, table cap) per
+	// Lemma 5's "table smaller than n" side condition, with a small
+	// floor for tiny lists).
+	MaxTableSize int
+	// CRCWBuild, when true, charges the table construction O(1) PRAM
+	// time, as the paper's CRCW construction achieves with ≤ n
+	// processors; otherwise the build is charged ⌈size·g/p⌉ time on the
+	// machine (an honest EREW-style build).
+	CRCWBuild bool
+	// EREWCopies additionally charges the appendix's per-processor
+	// table-replication cost: on the EREW model concurrent reads of one
+	// table copy are illegal, so p copies are made by doubling
+	// ("copies of table T [are] set up in the preprocessing stage"),
+	// charged via bits.TableBank.
+	EREWCopies bool
+}
+
+// PartitionTable realizes Lemma 5's fast partition: labels equivalent to
+// `effective` applications of the matching partition function, computed
+// in O(n·log(effective)/p + log(effective)) time via crunching, pointer
+// jumping and one table lookup. It returns the labels, the label-range
+// size (max value + 1 over valid keys), the table, and the jump-round
+// count.
+func PartitionTable(m *pram.Machine, l *list.List, e *partition.Evaluator, effective int, cfg Match3Config) ([]int, int, *table.Table, int, error) {
+	n := l.Len()
+	if e == nil {
+		e = partition.NewEvaluator(partition.MSB, width(n))
+	}
+	maxSize := cfg.MaxTableSize
+	if maxSize <= 0 {
+		// Lemma 5's side condition: the table (and the processors
+		// building it) must stay below n. Tiny lists get a pragmatic
+		// floor so a plan always exists.
+		maxSize = n
+		if maxSize < 4096 {
+			maxSize = 4096
+		}
+		if maxSize > table.DefaultMaxSize {
+			maxSize = table.DefaultMaxSize
+		}
+	}
+	p, err := table.Plan(n, effective, maxSize)
+	if err != nil {
+		return nil, 0, nil, 0, err
+	}
+
+	m.Phase("table-build")
+	t := table.Build(e, p)
+	if cfg.CRCWBuild {
+		m.Charge(1, t.BuildOps)
+	} else {
+		procs := int64(m.Processors())
+		m.Charge((t.BuildOps+procs-1)/procs, t.BuildOps)
+	}
+	if cfg.EREWCopies {
+		m.Phase("table-replicate")
+		bank := bits.NewTableBank(m.Processors(), t.Size())
+		m.Charge(bank.SetupTime, bank.SetupWork)
+	}
+
+	// Steps 1–2: label[v] := address; crunch to FieldBits bits.
+	m.Phase("crunch")
+	lab := partition.Iterate(m, l, e, p.Crunch)
+
+	// Step 3: concatenate Tuple labels by pointer jumping on a circular
+	// copy of NEXT (the tail wraps to the head, matching the paper's
+	// pseudo-successor convention; the adjacent-distinct invariant holds
+	// on the cycle, so every window folds correctly).
+	m.Phase("concatenate")
+	nxt := make([]int, n)
+	m.ParFor(n, func(v int) {
+		if s := l.Next[v]; s != list.Nil {
+			nxt[v] = s
+		} else {
+			nxt[v] = l.Head
+		}
+	})
+	auxLab := make([]int, n)
+	auxNxt := make([]int, n)
+	curBits := uint(p.FieldBits)
+	for r := 0; r < p.JumpRounds; r++ {
+		m.ParFor(n, func(v int) { auxLab[v] = lab[v]; auxNxt[v] = nxt[v] })
+		m.ParFor(n, func(v int) {
+			w := auxNxt[v]
+			lab[v] = lab[v] | auxLab[w]<<curBits
+			nxt[v] = auxNxt[w]
+		})
+		curBits *= 2
+	}
+
+	// Step 4: one lookup per node.
+	m.Phase("lookup")
+	m.ParFor(n, func(v int) { lab[v] = t.Lookup(lab[v]) })
+
+	return lab, t.MaxVal + 1, t, p.JumpRounds, nil
+}
+
+// Match3 computes a maximal matching with the Han/Beame table-lookup
+// algorithm (Lemma 5): crunch the labels with k = O(log G(n))
+// applications of f, concatenate G(n)-many labels in O(log G(n))
+// pointer-jumping rounds, reduce to a constant label range with one
+// table lookup, then cut and walk. Time
+// O(n·log G(n)/p + log G(n)); not optimal (the paper notes the extra
+// log G(n) factor of work).
+func Match3(m *pram.Machine, l *list.List, e *partition.Evaluator, cfg Match3Config) (*Result, error) {
+	n := l.Len()
+	// Effective applications needed to reach the constant range: the
+	// same count Match1 iterates, Θ(G(n)).
+	effective := partition.IterationsToRange(n, constantRange)
+	if effective < 1 {
+		effective = 1
+	}
+	lab, rng, t, rounds, err := PartitionTable(m, l, e, effective, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("match3: %w", err)
+	}
+	m.Phase("cut+walk")
+	in := CutAndWalk(m, l, lab, rng, nil)
+	return &Result{
+		Algorithm: "match3",
+		In:        in,
+		Size:      Count(in),
+		Sets:      rng,
+		Rounds:    rounds,
+		TableSize: t.Size(),
+		Stats:     m.Snapshot(),
+	}, nil
+}
+
+// Match3Predicted returns the predicted step count n·logG(n)/p + logG(n)
+// for comparison in experiments.
+func Match3Predicted(n, p int) int64 {
+	lg := int64(bits.LogG(n))
+	return int64(n)*lg/int64(p) + lg
+}

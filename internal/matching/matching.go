@@ -1,0 +1,241 @@
+// Package matching implements the paper's contribution: parallel
+// algorithms for computing a maximal matching of the pointers of a
+// linked list on a simulated PRAM.
+//
+// A matching is a set of pointers no two of which are incident on the
+// same node; it is maximal if no further pointer can be added. On a
+// linked list the pointers form a path, so two pointers conflict exactly
+// when one is the successor of the other. Computing a maximal matching
+// in parallel is the canonical symmetry-breaking problem the paper
+// attacks.
+//
+// The four algorithms:
+//
+//	Match1 (Lemma 3)  — iterate the matching partition function G(n)
+//	                    times: O(nG(n)/p + G(n)).
+//	Match2 (Lemma 4)  — partition into O(log^(2) n) sets, globally sort
+//	                    by set number, then greedily admit sets one by
+//	                    one: O(n/p + log n); the sort dominates.
+//	Match3 (Lemma 5)  — crunch labels, concatenate by pointer jumping,
+//	                    one table lookup: O(n·logG(n)/p + logG(n)).
+//	Match4 (Thm 1–2)  — the paper's optimization: a 2-D processor
+//	                    schedule (WalkDown1/WalkDown2) converts any
+//	                    O(log^(i) n)-set partition into a maximal
+//	                    matching without global sorting:
+//	                    O(n·log i/p + log^(i) n + log i), optimal using
+//	                    up to n/log^(i) n processors.
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parlist/internal/bits"
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+)
+
+// Result reports a computed matching plus the accounting needed by the
+// experiments.
+type Result struct {
+	Algorithm string
+	// In[v] reports whether the pointer ⟨v, suc(v)⟩ is in the matching;
+	// In[tail] is always false (the tail has no pointer).
+	In []bool
+	// Size is the number of matched pointers.
+	Size int
+	// Sets is the number of matching-set labels the partition stage used
+	// (the range bound, not the occupied count), 0 if not applicable.
+	Sets int
+	// Rounds records iteration counts (partition steps, jumping rounds).
+	Rounds int
+	// TableSize is the lookup-table size for table-based algorithms.
+	TableSize int
+	// Stats is the PRAM accounting snapshot.
+	Stats pram.Stats
+}
+
+// Count returns the number of true entries of in.
+func Count(in []bool) int {
+	c := 0
+	for _, b := range in {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// Verify checks that in describes a maximal matching of l's pointers:
+//
+//	matching:  no two chosen pointers share a node, i.e. never
+//	           in[v] && in[suc(v)] for a real pointer pair;
+//	maximal:   every unchosen real pointer has a chosen neighbour.
+//
+// It also checks the paper's stated consequence that at least one of any
+// three consecutive pointers is matched (implied by maximality on a
+// path, kept as an explicit cross-check).
+func Verify(l *list.List, in []bool) error {
+	n := l.Len()
+	if len(in) != n {
+		return fmt.Errorf("matching: length %d, want %d", len(in), n)
+	}
+	pred := l.Pred()
+	real := func(v int) bool { return v != list.Nil && l.Next[v] != list.Nil }
+	for v := 0; v < n; v++ {
+		if !real(v) {
+			if in[v] {
+				return fmt.Errorf("matching: tail node %d marked matched", v)
+			}
+			continue
+		}
+		s := l.Next[v]
+		if in[v] && real(s) && in[s] {
+			return fmt.Errorf("matching: adjacent pointers %d and %d both matched", v, s)
+		}
+		if !in[v] {
+			prevMatched := real(pred[v]) && in[pred[v]]
+			nextMatched := real(s) && in[s]
+			if !prevMatched && !nextMatched {
+				return fmt.Errorf("matching: pointer %d unmatched with both neighbours unmatched (not maximal)", v)
+			}
+		}
+	}
+	// Three-consecutive check.
+	run := 0
+	for v := l.Head; v != list.Nil && l.Next[v] != list.Nil; v = l.Next[v] {
+		if in[v] {
+			run = 0
+		} else {
+			run++
+			if run >= 3 {
+				return fmt.Errorf("matching: three consecutive unmatched pointers ending at %d", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Sequential computes a maximal matching with the greedy linear walk —
+// the T₁ = O(n) baseline the paper's optimality definition p·T = O(T₁)
+// is measured against. It matches pointers 0, 2, 4, … along the list.
+func Sequential(l *list.List) []bool {
+	in := make([]bool, l.Len())
+	v := l.Head
+	for v != list.Nil && l.Next[v] != list.Nil {
+		in[v] = true
+		v = l.Next[v]
+		if v != list.Nil {
+			v = l.Next[v]
+		}
+	}
+	return in
+}
+
+// Randomized computes a maximal matching by randomized symmetry breaking
+// (the coin-tossing approach of the randomized prefix algorithms the
+// introduction contrasts with): each round every live pointer flips a
+// coin and enters the matching if it drew heads and its successor
+// pointer drew tails; matched pointers retire themselves and their
+// neighbours. Expected O(log n) rounds. Returns the matching and the
+// number of rounds.
+func Randomized(m *pram.Machine, l *list.List, seed int64) ([]bool, int) {
+	n := l.Len()
+	in := make([]bool, n)
+	live := make([]bool, n)
+	pred := predPar(m, l)
+	m.ParFor(n, func(v int) { live[v] = l.Next[v] != list.Nil })
+	coin := make([]bool, n)
+	rng := rand.New(rand.NewSource(seed))
+	rounds := 0
+	for {
+		any := false
+		for v := 0; v < n; v++ {
+			if live[v] {
+				any = true
+				break
+			}
+		}
+		// Charge the liveness OR-reduction: O(n/p + log p).
+		p64 := int64(m.Processors())
+		m.Charge((int64(n)+p64-1)/p64+int64(logCeil(m.Processors())), int64(n))
+		if !any {
+			break
+		}
+		rounds++
+		// Flip coins (host RNG; each cell written once).
+		for v := 0; v < n; v++ {
+			coin[v] = live[v] && rng.Intn(2) == 1
+		}
+		m.Charge(int64((n+m.Processors()-1)/m.Processors()), int64(n))
+		sel := make([]bool, n)
+		m.ParFor(n, func(v int) {
+			if !live[v] || !coin[v] {
+				return
+			}
+			s := l.Next[v]
+			if s != list.Nil && l.Next[s] != list.Nil && coin[s] {
+				return // successor pointer also heads: defer
+			}
+			p := pred[v]
+			if p != list.Nil && l.Next[p] != list.Nil && coin[p] {
+				return // predecessor pointer heads: it wins ties upstream
+			}
+			sel[v] = true
+		})
+		m.ParFor(n, func(v int) {
+			if sel[v] {
+				in[v] = true
+			}
+		})
+		m.ParFor(n, func(v int) {
+			if !live[v] {
+				return
+			}
+			s := l.Next[v]
+			p := pred[v]
+			if sel[v] || (s != list.Nil && sel[s]) || (p != list.Nil && sel[p]) {
+				live[v] = false
+			}
+		})
+		if rounds > 64*(1+n) {
+			panic("matching: Randomized did not converge")
+		}
+	}
+	return in, rounds
+}
+
+// chargeEvaluatorReplication applies the appendix's EREW preprocessing
+// cost when the matching partition function is computed with lookup
+// tables: "to run Match1, Match3 and Match4 on the EREW model without
+// building the number conversion instructions into the processors we
+// need copies of T to be set up in the preprocessing stage". Each
+// processor gets its own copy of the unary table (and, for the MSB
+// variant, the bit-reversal table), charged via bits.TableBank. With a
+// direct (instruction-based) evaluator there is nothing to replicate.
+func chargeEvaluatorReplication(m *pram.Machine, e *partition.Evaluator) {
+	if !e.UsesTables() {
+		return
+	}
+	size := 1 << uint(e.Width()) // unary table entries
+	if e.Variant() == partition.MSB {
+		size *= 2 // plus the bit-reversal permutation table
+	}
+	m.Phase("table-replicate")
+	bank := bits.NewTableBank(m.Processors(), size)
+	m.Charge(bank.SetupTime, bank.SetupWork)
+}
+
+// predPar computes predecessor pointers with one EREW round.
+func predPar(m *pram.Machine, l *list.List) []int {
+	n := l.Len()
+	pred := make([]int, n)
+	m.ParFor(n, func(v int) { pred[v] = list.Nil })
+	m.ParFor(n, func(v int) {
+		if s := l.Next[v]; s != list.Nil {
+			pred[s] = v
+		}
+	})
+	return pred
+}

@@ -1,0 +1,156 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+func TestVerifyAcceptsSequentialGreedy(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 100} {
+		l := list.RandomList(n, 1)
+		if err := Verify(l, Sequential(l)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestVerifyRejectsAdjacentMatched(t *testing.T) {
+	l := list.SequentialList(4)
+	in := []bool{true, true, false, false}
+	if Verify(l, in) == nil {
+		t.Error("accepted adjacent matched pointers")
+	}
+}
+
+func TestVerifyRejectsNonMaximal(t *testing.T) {
+	l := list.SequentialList(5)
+	in := []bool{true, false, false, false, false} // pointer 2 addable
+	if Verify(l, in) == nil {
+		t.Error("accepted non-maximal matching")
+	}
+	in = []bool{false, false, false, false, false}
+	if Verify(l, in) == nil {
+		t.Error("accepted empty matching on a path")
+	}
+}
+
+func TestVerifyRejectsMatchedTail(t *testing.T) {
+	l := list.SequentialList(3)
+	in := []bool{true, false, true}
+	if Verify(l, in) == nil {
+		t.Error("accepted matched tail")
+	}
+}
+
+func TestVerifyRejectsWrongLength(t *testing.T) {
+	l := list.SequentialList(3)
+	if Verify(l, []bool{true}) == nil {
+		t.Error("accepted wrong length")
+	}
+}
+
+func TestVerifySingleNode(t *testing.T) {
+	l := list.SequentialList(1)
+	if err := Verify(l, []bool{false}); err != nil {
+		t.Errorf("single node: %v", err)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if Count([]bool{true, false, true, true}) != 3 {
+		t.Error("Count wrong")
+	}
+	if Count(nil) != 0 {
+		t.Error("Count(nil) != 0")
+	}
+}
+
+func TestSequentialMatchesAlternating(t *testing.T) {
+	l := list.SequentialList(7) // 6 pointers
+	in := Sequential(l)
+	want := []bool{true, false, true, false, true, false, false}
+	for v := range want {
+		if in[v] != want[v] {
+			t.Fatalf("in = %v", in)
+		}
+	}
+	if Count(in) != 3 {
+		t.Fatalf("size = %d", Count(in))
+	}
+}
+
+func TestMatchingSizeBounds(t *testing.T) {
+	// A maximal matching on a path of m pointers has between ⌈m/3⌉ and
+	// ⌊(m+1)/2⌋ pointers.
+	check := func(seed int64, nn uint16) bool {
+		n := int(nn)%500 + 2
+		l := list.RandomList(n, seed)
+		m := pram.New(16)
+		r, err := Match4(m, l, nil, Match4Config{I: 2})
+		if err != nil || Verify(l, r.In) != nil {
+			return false
+		}
+		ptrs := n - 1
+		lo := (ptrs + 2) / 3
+		hi := (ptrs + 1) / 2
+		return r.Size >= lo && r.Size <= hi
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomizedConvergesAndRoundsLogarithmic(t *testing.T) {
+	for _, n := range []int{2, 10, 1000, 10000} {
+		l := list.RandomList(n, 3)
+		m := pram.New(64)
+		in, rounds := Randomized(m, l, 99)
+		if err := Verify(l, in); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Expected O(log n) rounds; allow a generous constant.
+		if n > 4 && rounds > 12*logCeil(n)+12 {
+			t.Errorf("n=%d: %d rounds, too many", n, rounds)
+		}
+	}
+}
+
+func TestRandomizedDeterministicPerSeed(t *testing.T) {
+	l := list.RandomList(200, 5)
+	m1 := pram.New(4)
+	in1, r1 := Randomized(m1, l, 42)
+	m2 := pram.New(4)
+	in2, r2 := Randomized(m2, l, 42)
+	if r1 != r2 {
+		t.Fatalf("rounds differ: %d vs %d", r1, r2)
+	}
+	for v := range in1 {
+		if in1[v] != in2[v] {
+			t.Fatal("same seed, different matchings")
+		}
+	}
+}
+
+func TestPredPar(t *testing.T) {
+	l := list.FromOrder([]int{2, 0, 1})
+	m := pram.New(2)
+	pred := predPar(m, l)
+	want := l.Pred()
+	for v := range want {
+		if pred[v] != want[v] {
+			t.Fatalf("pred = %v, want %v", pred, want)
+		}
+	}
+}
+
+func TestLogCeil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10}
+	for in, want := range cases {
+		if got := logCeil(in); got != want {
+			t.Errorf("logCeil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

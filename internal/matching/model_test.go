@@ -1,0 +1,206 @@
+package matching
+
+import (
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/sortint"
+)
+
+// TestSameProcessorReadWriteIsLegal pins the model-fidelity upgrade: a
+// PRAM processor may read and write the same cell within one step; only
+// cross-processor collisions violate EREW.
+func TestSameProcessorReadWriteIsLegal(t *testing.T) {
+	m := pram.New(4)
+	a := pram.NewCheckedArray(m, pram.EREW, "a", 4)
+	m.ProcFor(func(q int) {
+		v := a.Read(q)
+		a.Write(q, v+1)
+	})
+	if v := a.Violations(); len(v) != 0 {
+		t.Fatalf("own-cell read+write flagged: %v", v)
+	}
+}
+
+// TestMatch2AdmitStepIsEREW certifies the access discipline of Match2's
+// step 3 (the set-by-set greedy admission) with instrumented memory:
+// within one set the pointers have disjoint endpoints, so the DONE
+// reads/writes never collide across processors.
+func TestMatch2AdmitStepIsEREW(t *testing.T) {
+	n := 256
+	l := list.RandomList(n, 3)
+	// Build the partition and sorted order exactly as Match2 does, on a
+	// plain machine (the sort itself has its own accounting tests).
+	prep := pram.New(8)
+	e := partition.NewEvaluator(partition.MSB, 10)
+	lab := partition.Iterate(prep, l, e, 3)
+	K := partition.RangeAfter(n, 3)
+	keys := make([]int, n)
+	for v := 0; v < n; v++ {
+		if l.Next[v] == list.Nil {
+			keys[v] = K
+		} else {
+			keys[v] = lab[v]
+		}
+	}
+	perm := sortint.SequentialByKey(keys, K+1)
+
+	// Replay step 3 against checked arrays on a fresh machine with full
+	// parallelism (p = n — every body in one step, the hardest case).
+	m := pram.New(n)
+	done := pram.NewCheckedArray(m, pram.EREW, "done", n)
+	in := pram.NewCheckedArray(m, pram.EREW, "in", n)
+
+	// Segment boundaries per set.
+	start := make(map[int]int)
+	for i := 0; i < n; i++ {
+		k := keys[perm[i]]
+		if _, ok := start[k]; !ok {
+			start[k] = i
+		}
+	}
+	for k := 0; k < K; k++ {
+		lo, ok := start[k]
+		if !ok {
+			continue
+		}
+		hi := n
+		for kk := k + 1; kk <= K; kk++ {
+			if s, ok2 := start[kk]; ok2 {
+				hi = s
+				break
+			}
+		}
+		seg := perm[lo:hi]
+		m.ParFor(len(seg), func(i int) {
+			a := seg[i]
+			b := l.Next[a]
+			if b == list.Nil {
+				return
+			}
+			if done.Read(a) == 0 && done.Read(b) == 0 {
+				done.Write(a, 1)
+				done.Write(b, 1)
+				in.Write(a, 1)
+			}
+		})
+	}
+
+	for _, arr := range []*pram.CheckedArray{done, in} {
+		if v := arr.Violations(); len(v) != 0 {
+			t.Fatalf("EREW violations in Match2 admit: %v", v[:min(4, len(v))])
+		}
+	}
+	// And the produced matching is the real thing.
+	res := make([]bool, n)
+	for v := 0; v < n; v++ {
+		res[v] = in.Get(v) == 1
+	}
+	if err := Verify(l, res); err != nil {
+		t.Fatalf("replayed admit step produced invalid matching: %v", err)
+	}
+}
+
+// TestWalkDownProcessingIsConflictFree certifies §3's safety claim with
+// instrumented memory: during Match4's WalkDowns, no two processors
+// ever touch the same matching-state cell in the same step. We replay
+// the direct-admission processing against checked arrays at p = y (one
+// processor per column, the paper's configuration).
+func TestWalkDownProcessingIsConflictFree(t *testing.T) {
+	n := 512
+	l := list.RandomList(n, 11)
+	prep := pram.New(8)
+	lab, K := PartitionIterated(prep, l, nil, 2)
+	x := K
+	y := (n + x - 1) / x
+	colLen := func(c int) int {
+		lo := c * x
+		hi := lo + x
+		if hi > n {
+			hi = n
+		}
+		return hi - lo
+	}
+
+	// Column sorts (host-side here; their discipline is per-processor
+	// local by construction).
+	cellNode := make([]int, n)
+	rowOf := make([]int, n)
+	colKeys := make([][]int, y)
+	for c := 0; c < y; c++ {
+		lo := c * x
+		ln := colLen(c)
+		keys := make([]int, ln)
+		for j := 0; j < ln; j++ {
+			keys[j] = lab[lo+j]
+		}
+		perm := sortint.SequentialByKey(keys, x)
+		sorted := make([]int, ln)
+		for j := 0; j < ln; j++ {
+			v := lo + perm[j]
+			cellNode[lo+j] = v
+			rowOf[v] = j
+			sorted[j] = keys[perm[j]]
+		}
+		colKeys[c] = sorted
+	}
+	pred := l.Pred()
+	_ = pred
+
+	m := pram.New(y)
+	used := pram.NewCheckedArray(m, pram.EREW, "used", n)
+	in := pram.NewCheckedArray(m, pram.EREW, "in", n)
+	isPtr := func(v int) bool { return l.Next[v] != list.Nil }
+	intraRow := func(v int) bool { return rowOf[v] == rowOf[l.Next[v]] }
+	process := func(v int) {
+		s := l.Next[v]
+		if used.Read(v) == 0 && used.Read(s) == 0 {
+			used.Write(v, 1)
+			used.Write(s, 1)
+			in.Write(v, 1)
+		}
+	}
+
+	for r := 0; r < x; r++ {
+		m.ProcFor(func(c int) {
+			if r >= colLen(c) {
+				return
+			}
+			v := cellNode[c*x+r]
+			if !isPtr(v) || intraRow(v) {
+				return
+			}
+			process(v)
+		})
+	}
+	states := make([]walkState, y)
+	for step := 0; step <= 2*x-2; step++ {
+		m.ProcFor(func(c int) {
+			lo := c * x
+			r := states[c].advance(colKeys[c], colLen(c))
+			if r < 0 {
+				return
+			}
+			v := cellNode[lo+r]
+			if !isPtr(v) || !intraRow(v) {
+				return
+			}
+			process(v)
+		})
+	}
+
+	for _, arr := range []*pram.CheckedArray{used, in} {
+		if v := arr.Violations(); len(v) != 0 {
+			t.Fatalf("WalkDown processing conflicts: %v", v[:min(4, len(v))])
+		}
+	}
+	res := make([]bool, n)
+	for v := 0; v < n; v++ {
+		res[v] = in.Get(v) == 1
+	}
+	if err := Verify(l, res); err != nil {
+		t.Fatalf("replayed WalkDown produced invalid matching: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package matching
+
+// WalkDown2Trace runs the paper's WalkDown2 automaton over one column's
+// sorted label array A[0..x-1] (values in [0, x)) and returns, for each
+// row r, the step k (0-based) at which A[r] was marked. It exists so the
+// Lemma 7 / Corollary 1–2 experiments and property tests can observe the
+// schedule directly:
+//
+//	count := 0; index := 0
+//	for i := 0 to 2x-2:
+//	    if index ≤ x-1:
+//	        if A[index] = count { mark A[index]; index++ } else { count++ }
+//
+// Lemma 7: the processor is in row r at step k iff A[r] = k - r.
+// Corollary 1: after 2x-1 iterations every element is marked.
+func WalkDown2Trace(a []int) []int {
+	x := len(a)
+	mark := make([]int, x)
+	for r := range mark {
+		mark[r] = -1
+	}
+	count, index := 0, 0
+	for i := 0; i <= 2*x-2; i++ {
+		if index <= x-1 {
+			if a[index] == count {
+				mark[index] = i
+				index++
+			} else {
+				count++
+			}
+		}
+	}
+	return mark
+}
+
+// walkState is one column's WalkDown2 automaton state inside Match4.
+type walkState struct {
+	index int
+	count int
+}
+
+// advance performs one automaton step for a column of the given length.
+// It returns the row to process at this step, or -1 when the step idles.
+func (w *walkState) advance(a []int, colLen int) int {
+	if w.index >= colLen {
+		return -1
+	}
+	if a[w.index] == w.count {
+		r := w.index
+		w.index++
+		return r
+	}
+	w.count++
+	return -1
+}

@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"parlist/internal/bits"
+	"parlist/internal/list"
+)
+
+// This file makes §2's intuition executable (Fig. 2): recursively
+// bisecting the storage array partitions the pointers by the highest
+// bisecting line they cross and by direction. Forward pointers crossing
+// the same line have disjoint heads and tails, and likewise backward
+// pointers — which is exactly what f(⟨a,b⟩) = 2k + a_k encodes: k is
+// the level of the highest line crossed (the MSB of a XOR b) and a_k
+// tells the direction, because the operands agree above bit k, so
+// a_k = 1 exactly when a > b, i.e. for a backward pointer.
+
+// CrossLevel returns the level of the highest bisecting line the
+// pointer ⟨a,b⟩ crosses: the most significant bit where a and b differ.
+// Level k is the line splitting aligned blocks of size 2^(k+1).
+func CrossLevel(a, b int) int { return bits.MSB(a ^ b) }
+
+// Backward reports whether ⟨a,b⟩ is a backward pointer (b < a). For a
+// pointer's f-value this is exactly the parity: F(a,b) is odd iff the
+// pointer is backward.
+func Backward(a, b int) bool { return b < a }
+
+// BisectionStats summarizes a list's Fig.-2 decomposition.
+type BisectionStats struct {
+	// Levels is the number of bisection levels present (≤ ⌈log n⌉).
+	Levels int
+	// Forward[k] and Backward[k] count pointers whose highest crossed
+	// line is at level k, by direction. Each such class is a matching
+	// set (Lemma 1's two families of log n sets each).
+	Forward  []int
+	Backward []int
+	// NonEmpty is the number of non-empty matching sets — the measured
+	// value Lemma 1 bounds by 2⌈log n⌉.
+	NonEmpty int
+}
+
+// Bisection classifies every pointer of the list by (level, direction)
+// and returns the per-pointer set ids (identical to one application of
+// F to the node addresses) plus the statistics. The tail has no pointer
+// and receives set id -1.
+func Bisection(l *list.List) ([]int, BisectionStats) {
+	n := l.Len()
+	sets := make([]int, n)
+	levels := 1
+	if n > 1 {
+		levels = bits.CeilLog2(n)
+		if levels == 0 {
+			levels = 1
+		}
+	}
+	st := BisectionStats{
+		Levels:   levels,
+		Forward:  make([]int, levels),
+		Backward: make([]int, levels),
+	}
+	for a, b := range l.Next {
+		if b == list.Nil {
+			sets[a] = -1
+			continue
+		}
+		k := CrossLevel(a, b)
+		sets[a] = F(a, b)
+		if Backward(a, b) {
+			st.Backward[k]++
+		} else {
+			st.Forward[k]++
+		}
+	}
+	for k := 0; k < levels; k++ {
+		if st.Forward[k] > 0 {
+			st.NonEmpty++
+		}
+		if st.Backward[k] > 0 {
+			st.NonEmpty++
+		}
+	}
+	return sets, st
+}

@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/bits"
+	"parlist/internal/list"
+)
+
+// TestFParityEncodesDirection: F(a,b) is odd iff ⟨a,b⟩ is a backward
+// pointer — the Fig.-2 observation that a_k at the highest differing bit
+// tells the direction.
+func TestFParityEncodesDirection(t *testing.T) {
+	check := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x == y {
+			return true
+		}
+		return (F(x, y)%2 == 1) == Backward(x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFEncodesCrossLevel: F(a,b)/2 is the highest bisecting line the
+// pointer crosses.
+func TestFEncodesCrossLevel(t *testing.T) {
+	check := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x == y {
+			return true
+		}
+		return F(x, y)/2 == CrossLevel(x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossLevelBisectingLineSemantics(t *testing.T) {
+	// Level k means a and b fall on opposite sides of a line splitting
+	// an aligned block of size 2^(k+1): a/2^k and b/2^k differ by
+	// exactly one (adjacent half-blocks) within the same 2^(k+1) block.
+	check := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x == y {
+			return true
+		}
+		k := CrossLevel(x, y)
+		sameBlock := x>>(uint(k)+1) == y>>(uint(k)+1)
+		oppositeHalves := (x>>uint(k))&1 != (y>>uint(k))&1
+		return sameBlock && oppositeHalves
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisectionSetsMatchF(t *testing.T) {
+	l := list.RandomList(512, 4)
+	sets, st := Bisection(l)
+	for a, b := range l.Next {
+		if b == list.Nil {
+			if sets[a] != -1 {
+				t.Fatalf("tail set = %d", sets[a])
+			}
+			continue
+		}
+		if sets[a] != F(a, b) {
+			t.Fatalf("set mismatch at %d", a)
+		}
+	}
+	// Counts: total forward+backward = pointer count.
+	total := 0
+	for k := 0; k < st.Levels; k++ {
+		total += st.Forward[k] + st.Backward[k]
+	}
+	if total != l.PointerCount() {
+		t.Fatalf("counted %d pointers, want %d", total, l.PointerCount())
+	}
+}
+
+func TestBisectionLemma1Bound(t *testing.T) {
+	for _, n := range []int{2, 16, 100, 4096, 65536} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 8)
+			_, st := Bisection(l)
+			bound := 2 * bits.CeilLog2(n)
+			if n == 2 {
+				bound = 2
+			}
+			if st.NonEmpty > bound {
+				t.Errorf("%s n=%d: %d non-empty sets > bound %d", g.Name, n, st.NonEmpty, bound)
+			}
+		}
+	}
+}
+
+func TestBisectionDirectionCounts(t *testing.T) {
+	// Sequential lists have only forward pointers; reversed only backward.
+	_, stF := Bisection(list.SequentialList(64))
+	for k, c := range stF.Backward {
+		if c != 0 {
+			t.Errorf("sequential list has backward pointers at level %d: %d", k, c)
+		}
+	}
+	_, stB := Bisection(list.ReversedList(64))
+	for k, c := range stB.Forward {
+		if c != 0 {
+			t.Errorf("reversed list has forward pointers at level %d: %d", k, c)
+		}
+	}
+	// Sequential: pointer i→i+1 crosses level LSB-block boundary; exactly
+	// n/2^(k+1) pointers cross level k.
+	for k, c := range stF.Forward {
+		want := 64 >> uint(k+1)
+		if c != want {
+			t.Errorf("sequential level %d: %d crossings, want %d", k, c, want)
+		}
+	}
+}
+
+func TestBisectionEachSetIsMatching(t *testing.T) {
+	// The defining property: pointers in one (level, direction) class
+	// have disjoint heads and tails.
+	l := list.ZigZagList(257)
+	sets, _ := Bisection(l)
+	for a, b := range l.Next {
+		if b == list.Nil || l.Next[b] == list.Nil {
+			continue
+		}
+		if sets[a] == sets[b] {
+			t.Fatalf("adjacent pointers %d,%d share set %d", a, b, sets[a])
+		}
+	}
+}

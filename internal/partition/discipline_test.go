@@ -1,0 +1,71 @@
+package partition
+
+import (
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+func TestStepDisciplinesComputeIdenticalLabels(t *testing.T) {
+	for _, n := range []int{2, 3, 17, 1000} {
+		l := list.RandomList(n, 19)
+		e := NewEvaluator(MSB, 12)
+		for k := 1; k <= 4; k++ {
+			mE := pram.New(8)
+			labE := IterateWith(mE, l, e, k, DisciplineEREW)
+			mC := pram.New(8)
+			labC := IterateWith(mC, l, e, k, DisciplineCREW)
+			for v := range labE {
+				if labE[v] != labC[v] {
+					t.Fatalf("n=%d k=%d: labels differ at %d", n, k, v)
+				}
+			}
+			// EREW pays exactly 2× the rounds.
+			if mE.Time() != 2*mC.Time() {
+				t.Errorf("n=%d k=%d: EREW time %d != 2× CREW time %d", n, k, mE.Time(), mC.Time())
+			}
+		}
+	}
+}
+
+func TestStepCREWIsCREWLegalButNotEREW(t *testing.T) {
+	// Certify the disciplines with checked arrays: the CREW step's label
+	// reads are fine under CREW and flagged under EREW.
+	n := 32
+	l := list.RandomList(n, 7)
+	e := NewEvaluator(MSB, 8)
+	head := l.Head
+
+	run := func(model pram.Model) []pram.Violation {
+		// p = n puts every body in the same step, so each label cell is
+		// deterministically read by its own node and its predecessor.
+		m := pram.New(n)
+		lab := pram.NewCheckedArray(m, model, "lab", n)
+		for v := 0; v < n; v++ {
+			lab.Set(v, v)
+		}
+		out := make([]int, n)
+		m.ParFor(n, func(v int) {
+			s := l.Next[v]
+			if s == list.Nil {
+				s = head
+			}
+			out[v] = e.Apply(lab.Read(v), lab.Read(s))
+		})
+		return lab.Violations()
+	}
+
+	if v := run(pram.CREW); len(v) != 0 {
+		t.Errorf("CREW flagged the one-round step: %v", v)
+	}
+	if v := run(pram.EREW); len(v) == 0 {
+		t.Error("EREW did not flag the concurrent label reads")
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if DisciplineEREW.String() != "erew" || DisciplineCREW.String() != "crew" {
+		t.Error("discipline names")
+	}
+}

@@ -1,0 +1,367 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/bits"
+	"parlist/internal/list"
+	"parlist/internal/pram"
+)
+
+// TestFMatchingProperty is the defining property (Lemma 1): for any
+// chain a→b→c with a≠b or b≠c (and both applications defined),
+// f(a,b) ≠ f(b,c).
+func TestFMatchingProperty(t *testing.T) {
+	check := func(a, b, c uint16) bool {
+		x, y, z := int(a), int(b), int(c)
+		if x == y || y == z {
+			return true // f undefined on equal pairs
+		}
+		return F(x, y) != F(y, z)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFLSBMatchingProperty(t *testing.T) {
+	check := func(a, b, c uint16) bool {
+		x, y, z := int(a), int(b), int(c)
+		if x == y || y == z {
+			return true
+		}
+		return FLSB(x, y) != FLSB(y, z)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMatchingPropertyExhaustiveSmall(t *testing.T) {
+	const W = 32
+	for a := 0; a < W; a++ {
+		for b := 0; b < W; b++ {
+			if a == b {
+				continue
+			}
+			for c := 0; c < W; c++ {
+				if b == c {
+					continue
+				}
+				if F(a, b) == F(b, c) {
+					t.Fatalf("F(%d,%d) == F(%d,%d) == %d", a, b, b, c, F(a, b))
+				}
+				if FLSB(a, b) == FLSB(b, c) {
+					t.Fatalf("FLSB(%d,%d) == FLSB(%d,%d) == %d", a, b, b, c, FLSB(a, b))
+				}
+			}
+		}
+	}
+}
+
+func TestFKnownValues(t *testing.T) {
+	// f(<a,b>) = 2k + a_k, k = MSB of a XOR b.
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, // k=0, bit0(a)=0
+		{1, 0, 1}, // k=0, bit0(a)=1
+		{2, 1, 3}, // XOR=3, k=1, bit1(2)=1 → 3
+		{1, 2, 2}, // k=1, bit1(1)=0 → 2
+		{8, 0, 7}, // k=3, bit3(8)=1 → 7
+		{0, 8, 6}, // k=3, bit3(0)=0 → 6
+		{5, 4, 1}, // XOR=1, k=0, bit0(5)=1
+	}
+	for _, c := range cases {
+		if got := F(c.a, c.b); got != c.want {
+			t.Errorf("F(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFPanicsOnEqual(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("F(3,3) did not panic")
+		}
+	}()
+	F(3, 3)
+}
+
+func TestFRangeBound(t *testing.T) {
+	// For a,b < 2^w, f < 2w.
+	w := 10
+	check := func(a, b uint16) bool {
+		x, y := int(a)&1023, int(b)&1023
+		if x == y {
+			return true
+		}
+		return F(x, y) < 2*w && FLSB(x, y) < 2*w
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextRange(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1024, 20}, {1025, 22}, {20, 10}, {10, 8}, {8, 6}, {6, 6}, {7, 6}, {5, 6}, {4, 4}, {3, 4}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := NextRange(c.in); got != c.want {
+			t.Errorf("NextRange(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextRangeSound(t *testing.T) {
+	// All f outputs on inputs < cur must be < NextRange(cur).
+	for _, cur := range []int{2, 3, 6, 17, 64, 100} {
+		bound := NextRange(cur)
+		for a := 0; a < cur; a++ {
+			for b := 0; b < cur; b++ {
+				if a == b {
+					continue
+				}
+				if F(a, b) >= bound {
+					t.Fatalf("cur=%d: F(%d,%d)=%d ≥ bound %d", cur, a, b, F(a, b), bound)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeAfterReachesFixedPoint(t *testing.T) {
+	n := 1 << 20
+	r := RangeAfter(n, 10)
+	if r != 6 {
+		t.Errorf("RangeAfter(2^20, 10) = %d, want 6", r)
+	}
+}
+
+func TestIterationsToRange(t *testing.T) {
+	for _, n := range []int{2, 16, 1024, 1 << 20, 1 << 30} {
+		k := IterationsToRange(n, 6)
+		if RangeAfter(n, k) > 6 {
+			t.Errorf("n=%d: RangeAfter(n, %d) = %d > 6", n, k, RangeAfter(n, k))
+		}
+		if k > 0 && RangeAfter(n, k-1) <= 6 {
+			t.Errorf("n=%d: k=%d not minimal", n, k)
+		}
+		// k tracks G(n) up to a small constant.
+		if g := bits.G(n); k > g+3 {
+			t.Errorf("n=%d: k=%d far above G(n)=%d", n, k, g)
+		}
+	}
+}
+
+func TestEvaluatorTableMatchesDirect(t *testing.T) {
+	for _, v := range []Variant{MSB, LSB} {
+		direct := NewEvaluator(v, 10)
+		tab := NewTableEvaluator(v, 10)
+		if !tab.UsesTables() || direct.UsesTables() {
+			t.Fatal("UsesTables flags wrong")
+		}
+		check := func(a, b uint16) bool {
+			x, y := int(a)&1023, int(b)&1023
+			if x == y {
+				return true
+			}
+			return direct.Apply(x, y) == tab.Apply(x, y)
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%v: %v", v, err)
+		}
+	}
+}
+
+func TestEvaluatorApplyMatchesF(t *testing.T) {
+	e := NewEvaluator(MSB, 16)
+	el := NewEvaluator(LSB, 16)
+	check := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x == y {
+			return true
+		}
+		return e.Apply(x, y) == F(x, y) && el.Apply(x, y) == FLSB(x, y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldMatchingShiftProperty(t *testing.T) {
+	// Extended property (the paper's m^(k)): folds of adjacent-distinct
+	// shifted tuples differ.
+	e := NewEvaluator(MSB, 12)
+	check := func(raw [5]uint16) bool {
+		vals := make([]int, 5)
+		for i, r := range raw {
+			vals[i] = int(r) & 4095
+		}
+		for i := 0; i+1 < 5; i++ {
+			if vals[i] == vals[i+1] {
+				return true
+			}
+		}
+		return e.Fold(vals[:4]) != e.Fold(vals[1:5])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldSingleValueIsIdentity(t *testing.T) {
+	e := NewEvaluator(MSB, 8)
+	if e.Fold([]int{42}) != 42 {
+		t.Error("Fold of 1-tuple should be the value")
+	}
+}
+
+func TestFoldDoesNotModifyInput(t *testing.T) {
+	e := NewEvaluator(MSB, 8)
+	in := []int{1, 2, 3, 4}
+	e.Fold(in)
+	if in[0] != 1 || in[1] != 2 || in[2] != 3 || in[3] != 4 {
+		t.Errorf("Fold mutated input: %v", in)
+	}
+}
+
+func TestStepPreservesAdjacentDistinctness(t *testing.T) {
+	for _, g := range list.Generators() {
+		for _, n := range []int{2, 3, 10, 500} {
+			l := g.Make(n, 11)
+			m := pram.New(8)
+			e := NewEvaluator(MSB, 16)
+			lab := InitialLabels(l)
+			aux := make([]int, n)
+			out := make([]int, n)
+			for it := 0; it < 6; it++ {
+				out = Step(m, l, e, lab, aux, out)
+				lab, out = out, lab
+				if err := Verify(l, lab); err != nil {
+					t.Fatalf("%s n=%d iter=%d: %v", g.Name, n, it+1, err)
+				}
+				// The cyclic invariant (needed for tail wrap) too.
+				tail := l.Tail()
+				if n >= 2 && lab[tail] == lab[l.Head] {
+					t.Fatalf("%s n=%d iter=%d: tail and head share label", g.Name, n, it+1)
+				}
+			}
+		}
+	}
+}
+
+func TestIterateRangeBound(t *testing.T) {
+	n := 4096
+	l := list.RandomList(n, 2)
+	m := pram.New(16)
+	e := NewEvaluator(MSB, 12)
+	for k := 1; k <= 6; k++ {
+		lab := Iterate(m, l, e, k)
+		bound := RangeAfter(n, k)
+		if mx := MaxLabel(l, lab); mx >= bound {
+			t.Errorf("k=%d: max label %d ≥ bound %d", k, mx, bound)
+		}
+	}
+}
+
+func TestIterateZeroIsInitial(t *testing.T) {
+	l := list.SequentialList(8)
+	m := pram.New(2)
+	lab := Iterate(m, l, NewEvaluator(MSB, 4), 0)
+	for v, x := range lab {
+		if x != v {
+			t.Errorf("lab[%d] = %d", v, x)
+		}
+	}
+}
+
+func TestStepAccounting(t *testing.T) {
+	n := 100
+	l := list.RandomList(n, 1)
+	m := pram.New(10)
+	e := NewEvaluator(MSB, 8)
+	Step(m, l, e, InitialLabels(l), nil, nil)
+	// Two ParFor(n) rounds: 2·⌈100/10⌉ = 20 steps, 200 work.
+	if m.Time() != 20 || m.Work() != 200 {
+		t.Errorf("time=%d work=%d, want 20/200", m.Time(), m.Work())
+	}
+}
+
+func TestStepIsEREW(t *testing.T) {
+	// Re-implement Step against a CheckedArray to certify the access
+	// discipline: the aux copy makes every cell single-reader.
+	n := 64
+	l := list.RandomList(n, 3)
+	m := pram.New(8)
+	e := NewEvaluator(MSB, 8)
+	lab := NewCheckedArrayInit(m, n)
+	aux := pram.NewCheckedArray(m, pram.EREW, "aux", n)
+	out := pram.NewCheckedArray(m, pram.EREW, "out", n)
+	head := l.Head
+	m.ParFor(n, func(v int) { aux.Write(v, lab.Read(v)) })
+	m.ParFor(n, func(v int) {
+		s := l.Next[v]
+		if s == list.Nil {
+			s = head
+		}
+		out.Write(v, e.Apply(lab.Read(v), aux.Read(s)))
+	})
+	for _, arr := range []*pram.CheckedArray{lab, aux, out} {
+		if v := arr.Violations(); len(v) != 0 {
+			t.Fatalf("EREW violations: %v", v)
+		}
+	}
+}
+
+// NewCheckedArrayInit builds a checked EREW array holding the initial
+// labels (addresses).
+func NewCheckedArrayInit(m *pram.Machine, n int) *pram.CheckedArray {
+	a := pram.NewCheckedArray(m, pram.EREW, "lab", n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i)
+	}
+	return a
+}
+
+func TestDistinctCountAndMaxLabel(t *testing.T) {
+	l := list.SequentialList(4)
+	lab := []int{5, 2, 5, 9} // node 3 is the tail: its label must be ignored
+	if got := DistinctCount(l, lab); got != 2 {
+		t.Errorf("DistinctCount = %d, want 2", got)
+	}
+	if got := MaxLabel(l, lab); got != 5 {
+		t.Errorf("MaxLabel = %d, want 5", got)
+	}
+}
+
+func TestVerifyCatchesBadPartition(t *testing.T) {
+	l := list.SequentialList(4)
+	lab := []int{1, 1, 2, 0}
+	if Verify(l, lab) == nil {
+		t.Error("Verify accepted adjacent equal labels")
+	}
+	lab = []int{1, 2, 1, 7} // pointer labels 1,2,1 alternate fine; tail pseudo ignored
+	if err := Verify(l, lab); err != nil {
+		t.Errorf("Verify rejected valid labels: %v", err)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if MSB.String() != "msb" || LSB.String() != "lsb" {
+		t.Error("variant names")
+	}
+}
+
+func TestNewTableEvaluatorPanicsOnWidth(t *testing.T) {
+	for _, w := range []int{0, MaxTableWidth + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTableEvaluator width %d did not panic", w)
+				}
+			}()
+			NewTableEvaluator(MSB, w)
+		}()
+	}
+}

@@ -1,0 +1,379 @@
+// Package pram simulates a synchronous Parallel Random Access Machine.
+//
+// The paper's complexity claims are stated in PRAM time steps: a machine
+// with p processors executes synchronous rounds in which every processor
+// performs O(1) work. The Machine type counts exactly those rounds
+// (Time) along with total operations (Work), so measured step counts can
+// be compared directly against bounds such as O(n·log i/p + log^(i) n).
+//
+// Two executors are provided. The sequential executor runs every
+// simulated processor in program order and is fully deterministic. The
+// goroutine executor shards each round across real goroutines — the
+// "goroutines for simulated PRAM steps" substitution — and yields
+// identical step counts (asserted in tests) with real wall-clock
+// parallelism.
+//
+// Algorithms written against the Machine must respect the owner-writes
+// contract: within one ParFor round a body may write only cells it owns
+// and may read only cells no other body instance writes in the same
+// round. Every algorithm in this repository uses double buffering where
+// a round reads its neighbours' previous values, which makes the two
+// executors observationally equivalent. CheckedArray (memory.go)
+// verifies the stronger per-model EREW/CREW access disciplines.
+package pram
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Model identifies a PRAM memory-access model.
+type Model int
+
+const (
+	// EREW forbids concurrent reads and concurrent writes of a cell.
+	EREW Model = iota
+	// CREW allows concurrent reads, forbids concurrent writes.
+	CREW
+	// CRCW allows both; writes must be Common (all writers agree).
+	CRCW
+)
+
+// String returns the conventional model name.
+func (m Model) String() string {
+	switch m {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCW:
+		return "CRCW"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Exec selects how simulated rounds are executed.
+type Exec int
+
+const (
+	// Sequential runs all simulated processors on the calling goroutine.
+	Sequential Exec = iota
+	// Goroutines shards rounds across a worker pool.
+	Goroutines
+)
+
+// String returns the executor name.
+func (e Exec) String() string {
+	if e == Sequential {
+		return "sequential"
+	}
+	return "goroutines"
+}
+
+// PhaseStat records the time/work accumulated under one named phase.
+type PhaseStat struct {
+	Name string
+	Time int64
+	Work int64
+}
+
+// Stats is a snapshot of a machine's accounting.
+type Stats struct {
+	Processors int
+	Time       int64 // synchronous PRAM steps
+	Work       int64 // total unit operations
+	Phases     []PhaseStat
+}
+
+// Efficiency returns seqWork / (p·T): 1.0 means a perfectly optimal
+// parallel algorithm relative to a sequential time of seqWork.
+func (s Stats) Efficiency(seqWork int64) float64 {
+	den := float64(s.Processors) * float64(s.Time)
+	if den == 0 {
+		return 0
+	}
+	return float64(seqWork) / den
+}
+
+// Machine is a simulated synchronous PRAM.
+type Machine struct {
+	p       int
+	exec    Exec
+	workers int
+
+	time int64
+	work int64
+
+	phases   []PhaseStat
+	curPhase int
+
+	// round counts completed synchronous primitives; vtime is the
+	// current virtual step and vproc the current virtual processor,
+	// used by CheckedArray during sequential execution to detect
+	// same-step cross-processor access conflicts.
+	round int64
+	vtime int64
+	vproc int
+
+	checked []resetter
+	tracer  *Tracer
+}
+
+type resetter interface{ beginRound(base int64) }
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithExec selects the executor (default Sequential).
+func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
+
+// WithWorkers sets the real worker count for the Goroutines executor
+// (default runtime.GOMAXPROCS(0)).
+func WithWorkers(w int) Option {
+	return func(m *Machine) {
+		if w > 0 {
+			m.workers = w
+		}
+	}
+}
+
+// New creates a machine with p simulated processors. p must be ≥ 1.
+func New(p int, opts ...Option) *Machine {
+	if p < 1 {
+		panic(fmt.Sprintf("pram: New with p=%d", p))
+	}
+	m := &Machine{
+		p:       p,
+		exec:    Sequential,
+		workers: runtime.GOMAXPROCS(0),
+		phases:  []PhaseStat{{Name: "init"}},
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.workers < 1 {
+		m.workers = 1
+	}
+	return m
+}
+
+// Processors returns the simulated processor count p.
+func (m *Machine) Processors() int { return m.p }
+
+// Executor returns the configured executor.
+func (m *Machine) Executor() Exec { return m.exec }
+
+// Time returns the accumulated synchronous PRAM steps.
+func (m *Machine) Time() int64 { return m.time }
+
+// Work returns the accumulated unit operations.
+func (m *Machine) Work() int64 { return m.work }
+
+// Reset clears all accounting (processor count and executor persist).
+func (m *Machine) Reset() {
+	m.time, m.work, m.round, m.vtime = 0, 0, 0, 0
+	m.phases = []PhaseStat{{Name: "init"}}
+	m.curPhase = 0
+}
+
+// Phase begins a new named accounting phase; subsequent charges
+// accumulate under it. Useful for per-step breakdowns (e.g. showing that
+// Match2's sort step dominates).
+func (m *Machine) Phase(name string) {
+	m.phases = append(m.phases, PhaseStat{Name: name})
+	m.curPhase = len(m.phases) - 1
+}
+
+// Snapshot returns a copy of the machine's accounting.
+func (m *Machine) Snapshot() Stats {
+	ph := make([]PhaseStat, 0, len(m.phases))
+	for _, p := range m.phases {
+		if p.Time != 0 || p.Work != 0 {
+			ph = append(ph, p)
+		}
+	}
+	return Stats{Processors: m.p, Time: m.time, Work: m.work, Phases: ph}
+}
+
+func (m *Machine) charge(t, w int64) {
+	m.time += t
+	m.work += w
+	m.phases[m.curPhase].Time += t
+	m.phases[m.curPhase].Work += w
+}
+
+// Charge adds an explicit time/work cost without executing anything.
+// Used when a cost is known analytically (e.g. a TableBank setup).
+func (m *Machine) Charge(t, w int64) {
+	if t < 0 || w < 0 {
+		panic("pram: negative charge")
+	}
+	m.charge(t, w)
+	m.tracer.record(m, KindCharge, 0, t, w)
+}
+
+// ceilDiv returns ⌈a/b⌉ for a ≥ 0, b ≥ 1.
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// ParFor simulates n independent unit-cost operations executed by the
+// machine's p processors using Brent scheduling: processor q handles the
+// contiguous items [q·c, (q+1)·c) with c = ⌈n/p⌉, so the round costs
+// ⌈n/p⌉ time and n work. body(i) must be independent across i within
+// the round (owner-writes contract).
+func (m *Machine) ParFor(n int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	c := ceilDiv(int64(n), int64(m.p))
+	m.beginRound()
+	if m.exec == Goroutines && m.workers > 1 && n > 1 {
+		m.runChunks(n, body)
+	} else {
+		if m.checked != nil {
+			// Drive virtual time so CheckedArray sees the true PRAM
+			// schedule: item i runs on processor i/c at local step i mod c.
+			for i := 0; i < n; i++ {
+				m.vtime = m.round + int64(i)%c
+				m.vproc = int(int64(i) / c)
+				body(i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		}
+	}
+	m.round += c
+	m.vtime = m.round
+	m.charge(c, int64(n))
+	m.tracer.record(m, KindParFor, n, c, int64(n))
+}
+
+// ParForCost is ParFor for bodies that each perform up to `cost` unit
+// operations (cost must be a constant independent of n for the bounds to
+// hold — e.g. walking a constant-length sublist in Match1 step 4). The
+// round is charged cost·⌈n/p⌉ time and cost·n work.
+func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if cost < 1 {
+		panic("pram: ParForCost with cost < 1")
+	}
+	c := ceilDiv(int64(n), int64(m.p))
+	m.beginRound()
+	if m.exec == Goroutines && m.workers > 1 && n > 1 {
+		m.runChunks(n, body)
+	} else {
+		if m.checked != nil {
+			for i := 0; i < n; i++ {
+				m.vtime = m.round + (int64(i)%c)*cost
+				m.vproc = int(int64(i) / c)
+				body(i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				body(i)
+			}
+		}
+	}
+	m.round += c * cost
+	m.vtime = m.round
+	m.charge(c*cost, int64(n)*cost)
+	m.tracer.record(m, KindParFor, n, c*cost, int64(n)*cost)
+}
+
+// ProcFor runs one unit-cost operation on each of the p processors:
+// 1 time step, p work. body receives the processor index.
+func (m *Machine) ProcFor(body func(q int)) {
+	m.beginRound()
+	if m.exec == Goroutines && m.workers > 1 && m.p > 1 {
+		m.runChunks(m.p, body)
+	} else {
+		if m.checked != nil {
+			m.vtime = m.round
+			for q := 0; q < m.p; q++ {
+				m.vproc = q
+				body(q)
+			}
+		} else {
+			for q := 0; q < m.p; q++ {
+				body(q)
+			}
+		}
+	}
+	m.round++
+	m.vtime = m.round
+	m.charge(1, int64(m.p))
+	m.tracer.record(m, KindProc, m.p, 1, int64(m.p))
+}
+
+// ProcRun runs a local procedure of `steps` sequential unit operations
+// on each processor simultaneously: steps time, p·steps work. body(q)
+// performs the whole local procedure for processor q (e.g. Match4's
+// per-column counting sort). The bodies must touch disjoint memory.
+func (m *Machine) ProcRun(steps int64, body func(q int)) {
+	if steps < 0 {
+		panic("pram: ProcRun with negative steps")
+	}
+	m.beginRound()
+	if m.exec == Goroutines && m.workers > 1 && m.p > 1 {
+		m.runChunks(m.p, body)
+	} else {
+		if m.checked != nil {
+			m.vtime = m.round
+			for q := 0; q < m.p; q++ {
+				m.vproc = q
+				body(q)
+			}
+		} else {
+			for q := 0; q < m.p; q++ {
+				body(q)
+			}
+		}
+	}
+	m.round += steps
+	m.vtime = m.round
+	m.charge(steps, int64(m.p)*steps)
+	m.tracer.record(m, KindProc, m.p, steps, int64(m.p)*steps)
+}
+
+// beginRound notifies checked arrays that a new synchronous primitive
+// starts, so same-step conflict sets reset.
+func (m *Machine) beginRound() {
+	if m.checked == nil {
+		return
+	}
+	for _, c := range m.checked {
+		c.beginRound(m.round)
+	}
+}
+
+// runChunks shards [0,n) across the worker pool.
+func (m *Machine) runChunks(n int, body func(i int)) {
+	w := m.workers
+	if w > n {
+		w = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for q := 0; q < w; q++ {
+		lo := q * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

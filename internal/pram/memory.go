@@ -1,0 +1,169 @@
+package pram
+
+import "fmt"
+
+// Violation records an access-model violation detected by a CheckedArray.
+type Violation struct {
+	Array string
+	Step  int64
+	Cell  int
+	Kind  string // "concurrent-read", "concurrent-write", "read-write", "same-step-raw"
+}
+
+// String formats the violation for test failure messages.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s at cell %d during step %d", v.Array, v.Kind, v.Cell, v.Step)
+}
+
+type cellState struct {
+	firstReader  int
+	multiReaders bool
+	reads        int
+	firstWriter  int
+	multiWriters bool
+	writeVal     int
+	wrote        bool
+}
+
+// CheckedArray is a shared-memory array instrumented to verify the
+// access discipline of a PRAM model. Every Read/Write is attributed to
+// the machine's current virtual step and virtual processor; two
+// accesses of one cell in the same step by *different* processors are
+// "concurrent" in the simulated PRAM sense (a single processor may read
+// and write its own cell within one instruction cycle).
+//
+// Detection rules (all per step, across distinct processors):
+//   - EREW: >1 reader, >1 writer, or reader ≠ writer of a cell.
+//   - CREW: >1 writer, or reader ≠ writer.
+//   - CRCW (Common): writers must all store the same value; a read of a
+//     cell another processor writes in the same step is flagged as
+//     "same-step-raw" (a synchrony hazard: a true PRAM would return the
+//     old value, the sequential simulator may return the new one).
+//
+// CheckedArray requires the Sequential executor; New panics otherwise.
+type CheckedArray struct {
+	m     *Machine
+	model Model
+	name  string
+	data  []int
+	cells map[[2]int64]*cellState // key: {vtime, cell}
+	viol  []Violation
+}
+
+// NewCheckedArray registers a checked array of length n on machine m.
+func NewCheckedArray(m *Machine, model Model, name string, n int) *CheckedArray {
+	if m.exec != Sequential {
+		panic("pram: CheckedArray requires the Sequential executor")
+	}
+	a := &CheckedArray{
+		m:     m,
+		model: model,
+		name:  name,
+		data:  make([]int, n),
+		cells: make(map[[2]int64]*cellState),
+	}
+	m.checked = append(m.checked, a)
+	return a
+}
+
+func (a *CheckedArray) beginRound(base int64) {
+	// Virtual steps never repeat across primitives, so prior bookkeeping
+	// can be dropped wholesale.
+	clear(a.cells)
+}
+
+func (a *CheckedArray) cell(i int) *cellState {
+	k := [2]int64{a.m.vtime, int64(i)}
+	c := a.cells[k]
+	if c == nil {
+		c = &cellState{firstReader: -1, firstWriter: -1}
+		a.cells[k] = c
+	}
+	return c
+}
+
+func (a *CheckedArray) flag(i int, kind string) {
+	a.viol = append(a.viol, Violation{Array: a.name, Step: a.m.vtime, Cell: i, Kind: kind})
+}
+
+// Len returns the array length.
+func (a *CheckedArray) Len() int { return len(a.data) }
+
+// Read returns the value at cell i, recording the access.
+func (a *CheckedArray) Read(i int) int {
+	c := a.cell(i)
+	proc := a.m.vproc
+	if c.firstReader < 0 {
+		c.firstReader = proc
+	} else if c.firstReader != proc {
+		c.multiReaders = true
+	}
+	c.reads++
+	crossWrite := c.wrote && (c.firstWriter != proc || c.multiWriters)
+	switch a.model {
+	case EREW:
+		if c.multiReaders {
+			a.flag(i, "concurrent-read")
+		}
+		if crossWrite {
+			a.flag(i, "read-write")
+		}
+	case CREW:
+		if crossWrite {
+			a.flag(i, "read-write")
+		}
+	case CRCW:
+		if crossWrite {
+			a.flag(i, "same-step-raw")
+		}
+	}
+	return a.data[i]
+}
+
+// Write stores v at cell i, recording the access.
+func (a *CheckedArray) Write(i, v int) {
+	c := a.cell(i)
+	proc := a.m.vproc
+	crossRead := c.firstReader >= 0 && (c.firstReader != proc || c.multiReaders)
+	crossWrite := c.wrote && (c.firstWriter != proc || c.multiWriters)
+	switch a.model {
+	case EREW:
+		if crossWrite {
+			a.flag(i, "concurrent-write")
+		}
+		if crossRead {
+			a.flag(i, "read-write")
+		}
+	case CREW:
+		if crossWrite {
+			a.flag(i, "concurrent-write")
+		}
+		if crossRead {
+			a.flag(i, "read-write")
+		}
+	case CRCW:
+		if crossWrite && c.writeVal != v {
+			a.flag(i, "concurrent-write") // non-Common concurrent write
+		}
+	}
+	if c.firstWriter < 0 {
+		c.firstWriter = proc
+	} else if c.firstWriter != proc {
+		c.multiWriters = true
+	}
+	c.wrote = true
+	c.writeVal = v
+	a.data[i] = v
+}
+
+// Set initializes cell i without access accounting (for test setup).
+func (a *CheckedArray) Set(i, v int) { a.data[i] = v }
+
+// Get reads cell i without access accounting (for test verification).
+func (a *CheckedArray) Get(i int) int { return a.data[i] }
+
+// Data exposes the backing slice (for bulk verification only).
+func (a *CheckedArray) Data() []int { return a.data }
+
+// Violations returns all violations recorded so far.
+func (a *CheckedArray) Violations() []Violation { return a.viol }

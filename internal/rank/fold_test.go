@@ -1,0 +1,145 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+// sequentialFold folds op right-to-left over list order, the reference
+// for ContractFold.
+func sequentialFold(l *list.List, vals []int, op scan.Op) []int {
+	order := l.Order()
+	out := make([]int, l.Len())
+	acc := op.Identity
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		acc = op.Apply(vals[v], acc)
+		out[v] = acc
+	}
+	return out
+}
+
+func TestContractFoldMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 100, 3000} {
+		l := list.RandomList(n, 6)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(1000) - 500
+		}
+		m := pram.New(16)
+		got, _, err := ContractFold(m, l, vals, scan.Max, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sequentialFold(l, vals, scan.Max)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: max-suffix[%d] = %d, want %d", n, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestContractFoldMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 777
+	l := list.ZigZagList(n)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(100)
+	}
+	m := pram.New(8)
+	got, _, err := ContractFold(m, l, vals, scan.Min, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialFold(l, vals, scan.Min)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("min-suffix[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+// Non-commutative associative operations certify that the contraction
+// preserves operand order.
+func TestContractFoldNonCommutative(t *testing.T) {
+	left := scan.Op{Identity: -1, Apply: func(a, b int) int {
+		if a == -1 {
+			return b
+		}
+		return a
+	}}
+	right := scan.Op{Identity: -1, Apply: func(a, b int) int {
+		if b == -1 {
+			return a
+		}
+		return b
+	}}
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	l := list.RandomList(n, 4)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Intn(1 << 20)
+	}
+	m := pram.New(16)
+	gotL, _, err := ContractFold(m, l, vals, left, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left projection: suffix fold = the node's own value.
+	for v := range gotL {
+		if gotL[v] != vals[v] {
+			t.Fatalf("left-fold[%d] = %d, want own value %d", v, gotL[v], vals[v])
+		}
+	}
+	gotR, _, err := ContractFold(pram.New(16), l, vals, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right projection: suffix fold = the tail's value.
+	tailVal := vals[l.Tail()]
+	for v := range gotR {
+		if gotR[v] != tailVal {
+			t.Fatalf("right-fold[%d] = %d, want tail value %d", v, gotR[v], tailVal)
+		}
+	}
+}
+
+func TestContractFoldModularConcat(t *testing.T) {
+	// Associative but non-commutative: 2x2 integer "affine" composition
+	// f(a,b) encoding x ↦ αx+β pairs packed as a = α*M+β with small
+	// moduli. Compose(a, b) = apply a after... define composition of
+	// affine maps (α₁x+β₁) ∘ (α₂x+β₂) = α₁α₂x + α₁β₂+β₁ over mod 97.
+	const M = 97
+	pack := func(al, be int) int { return al*M + be }
+	op := scan.Op{Identity: pack(1, 0), Apply: func(a, b int) int {
+		a1, b1 := a/M, a%M
+		a2, b2 := b/M, b%M
+		return pack(a1*a2%M, (a1*b2+b1)%M)
+	}}
+	rng := rand.New(rand.NewSource(5))
+	n := 1200
+	l := list.RandomList(n, 7)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = pack(rng.Intn(M-1)+1, rng.Intn(M))
+	}
+	m := pram.New(32)
+	got, _, err := ContractFold(m, l, vals, op, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialFold(l, vals, op)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("affine-fold[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

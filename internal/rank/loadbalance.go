@@ -1,0 +1,226 @@
+package rank
+
+import (
+	"fmt"
+
+	"parlist/internal/color"
+	"parlist/internal/list"
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+// This file implements a queue-based, load-balanced splicing scheme in
+// the style of Anderson–Miller deterministic list ranking ([1] in the
+// paper) — the approach §3 cites for "circumvent[ing] the repetitive
+// global sorting and packing operations in the linked list prefix
+// algorithm". Where the contraction scheme (ContractFold) compacts the
+// whole list and re-runs a maximal matching every round, the
+// load-balanced scheme gives each processor a private queue of nodes
+// and splices queue heads directly:
+//
+//   - Every processor q owns the address range [q·⌈n/p⌉, (q+1)·⌈n/p⌉)
+//     as a queue and exposes its first unspliced node as its candidate.
+//   - The ≤ p candidates of a round may contain chains of consecutive
+//     list nodes; splicing two adjacent nodes simultaneously is unsafe,
+//     so the round selects the *local colour minima* of the candidate
+//     chains under a precomputed proper colouring — deterministic coin
+//     tossing resolves the conflicts, exactly the paper's tool. At
+//     least one third of each chain is selected, so queues drain at a
+//     constant amortized rate.
+//   - Selected nodes are spliced (value folded into the predecessor,
+//     splice record kept) and their queues advance. Rounds cost O(1)
+//     PRAM steps each, so the whole drain is O(n/p) plus the
+//     colouring's O(nG(n)/p) preprocessing and a short tail.
+//
+// Expansion replays the per-round records exactly like ContractFold.
+
+// logCeilLB returns ⌈log₂ x⌉ for x ≥ 1.
+func logCeilLB(x int) int {
+	l := 0
+	for v := 1; v < x; v *= 2 {
+		l++
+	}
+	return l
+}
+
+// LoadBalancedStats reports what the scheme did.
+type LoadBalancedStats struct {
+	Rounds      int // splice rounds until all queues drained
+	MaxChain    int // longest candidate chain observed
+	ColourSteps int64
+}
+
+// LoadBalancedSuffix computes suffix folds with the load-balanced
+// splicing scheme. op must be associative.
+func LoadBalancedSuffix(m *pram.Machine, l *list.List, vals []int, op scan.Op) ([]int, LoadBalancedStats, error) {
+	n := l.Len()
+	p := m.Processors()
+	var stats LoadBalancedStats
+
+	// Preprocessing: a proper 3-colouring for conflict resolution.
+	colStart := m.Time()
+	col := color.ThreeColor(m, l, nil)
+	stats.ColourSteps = m.Time() - colStart
+
+	nxt := make([]int, n)
+	val := make([]int, n)
+	pred := make([]int, n)
+	m.ParFor(n, func(v int) { nxt[v] = l.Next[v]; val[v] = vals[v]; pred[v] = list.Nil })
+	m.ParFor(n, func(v int) {
+		if s := l.Next[v]; s != list.Nil {
+			pred[s] = v
+		}
+	})
+	head := l.Head
+
+	c := (n + p - 1) / p
+	qpos := make([]int, p) // next in-range address each queue will offer
+	m.ProcFor(func(q int) { qpos[q] = q * c })
+
+	spliced := make([]bool, n)
+	inC := make([]bool, n)
+	cand := make([]int, p)
+
+	type rec struct{ node, next, val int }
+	var rounds [][]rec
+	remaining := n - 1 // nodes to splice (all but the head)
+
+	advance := func(q int) int {
+		for qpos[q] < (q+1)*c && qpos[q] < n {
+			v := qpos[q]
+			if !spliced[v] && v != head {
+				return v
+			}
+			qpos[q]++
+		}
+		return list.Nil
+	}
+
+	guard := 0
+	for remaining > 0 {
+		guard++
+		if guard > 8*n+64 {
+			return nil, stats, fmt.Errorf("rank: load-balanced splicing stalled (remaining %d)", remaining)
+		}
+		// Each processor offers its queue head. Advancing the queue
+		// pointer is amortized O(1) per node over the whole run; we
+		// charge one step per round for it plus the scan below.
+		m.ProcFor(func(q int) {
+			cand[q] = advance(q)
+			if cand[q] != list.Nil {
+				inC[cand[q]] = true
+			}
+		})
+
+		// Select local minima of candidate chains under the (colour,
+		// address) order. The colouring is proper for the *original*
+		// adjacency; after splices two currently-adjacent candidates can
+		// share a colour, so the address breaks ties — the pair order
+		// stays total and no two adjacent candidates are ever both
+		// selected. Decisions are written per processor (independent
+		// cells), then gathered — a ≤ p-item compaction, charged
+		// O(log p).
+		beats := func(u, v int) bool { // u precedes v in the selection order
+			if col[u] != col[v] {
+				return col[u] < col[v]
+			}
+			return u < v
+		}
+		decide := make([]int, p)
+		m.ProcFor(func(q int) {
+			decide[q] = list.Nil
+			v := cand[q]
+			if v == list.Nil {
+				return
+			}
+			pv, nv := pred[v], nxt[v]
+			if pv != list.Nil && inC[pv] && beats(pv, v) {
+				return
+			}
+			if nv != list.Nil && inC[nv] && beats(nv, v) {
+				return
+			}
+			decide[q] = v
+		})
+		selected := make([]int, 0, p)
+		for q := 0; q < p; q++ {
+			if decide[q] != list.Nil {
+				selected = append(selected, decide[q])
+			}
+		}
+		m.Charge(int64(logCeilLB(p)+1), int64(p))
+
+		// Chain statistics (host-side observability only).
+		chain := 0
+		for _, v := range cand {
+			if v != list.Nil && pred[v] != list.Nil && inC[pred[v]] {
+				chain++
+			}
+		}
+		if chain+1 > stats.MaxChain {
+			stats.MaxChain = chain + 1
+		}
+
+		// Splice the selected nodes (independent set, so predecessors
+		// are all alive and distinct).
+		recs := make([]rec, len(selected))
+		m.ProcFor(func(q int) {
+			if q >= len(selected) {
+				return
+			}
+			v := selected[q]
+			a := pred[v]
+			recs[q] = rec{node: v, next: nxt[v], val: val[v]}
+			val[a] = op.Apply(val[a], val[v])
+			nxt[a] = nxt[v]
+			if w := nxt[v]; w != list.Nil {
+				pred[w] = a
+			}
+			spliced[v] = true
+		})
+		// Clear the candidate flags.
+		m.ProcFor(func(q int) {
+			if v := cand[q]; v != list.Nil {
+				inC[v] = false
+			}
+		})
+
+		if len(recs) > 0 {
+			rounds = append(rounds, recs)
+			remaining -= len(recs)
+		}
+	}
+	stats.Rounds = len(rounds)
+
+	// Only the head remains: its accumulated value is the total fold.
+	suffix := make([]int, n)
+	suffix[head] = val[head]
+	m.Charge(1, 1)
+
+	for r := len(rounds) - 1; r >= 0; r-- {
+		recs := rounds[r]
+		m.ParFor(len(recs), func(i int) {
+			rc := recs[i]
+			if rc.next == list.Nil {
+				suffix[rc.node] = rc.val
+			} else {
+				suffix[rc.node] = op.Apply(rc.val, suffix[rc.next])
+			}
+		})
+	}
+	return suffix, stats, nil
+}
+
+// LoadBalancedRank ranks the list with the load-balanced scheme.
+func LoadBalancedRank(m *pram.Machine, l *list.List) ([]int, LoadBalancedStats, error) {
+	n := l.Len()
+	ones := make([]int, n)
+	m.ParFor(n, func(v int) { ones[v] = 1 })
+	suf, st, err := LoadBalancedSuffix(m, l, ones, scan.Add)
+	if err != nil {
+		return nil, st, err
+	}
+	rk := make([]int, n)
+	m.ParFor(n, func(v int) { rk[v] = n - suf[v] })
+	return rk, st, nil
+}

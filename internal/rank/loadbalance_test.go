@@ -1,0 +1,137 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+func TestLoadBalancedRankMatchesPosition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 5000} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 41)
+			for _, p := range []int{1, 4, 64} {
+				m := pram.New(p)
+				rk, st, err := LoadBalancedRank(m, l)
+				if err != nil {
+					t.Fatalf("%s n=%d p=%d: %v", g.Name, n, p, err)
+				}
+				pos := l.Position()
+				for v := range rk {
+					if rk[v] != pos[v] {
+						t.Fatalf("%s n=%d p=%d: rk[%d]=%d want %d (stats %+v)",
+							g.Name, n, p, v, rk[v], pos[v], st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLoadBalancedSuffixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 7, 500, 4096} {
+		l := list.RandomList(n, 23)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(19) - 9
+		}
+		m := pram.New(32)
+		got, _, err := LoadBalancedSuffix(m, l, vals, scan.Add)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SequentialSuffix(l, vals)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: suffix[%d]=%d want %d", n, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestLoadBalancedNonCommutativeFold(t *testing.T) {
+	const M = 97
+	pack := func(al, be int) int { return al*M + be }
+	op := scan.Op{Identity: pack(1, 0), Apply: func(a, b int) int {
+		a1, b1 := a/M, a%M
+		a2, b2 := b/M, b%M
+		return pack(a1*a2%M, (a1*b2+b1)%M)
+	}}
+	rng := rand.New(rand.NewSource(10))
+	n := 1500
+	l := list.RandomList(n, 17)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = pack(rng.Intn(M-1)+1, rng.Intn(M))
+	}
+	m := pram.New(16)
+	got, _, err := LoadBalancedSuffix(m, l, vals, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sequentialFold(l, vals, op)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("affine-fold[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestLoadBalancedDrainRate(t *testing.T) {
+	// With p processors, n-1 splices at ≥1 splice per candidate chain
+	// per round should drain in O(n/p) rounds for well-mixed lists;
+	// assert a generous multiple.
+	n, p := 1<<14, 64
+	l := list.RandomList(n, 29)
+	m := pram.New(p)
+	_, st, err := LoadBalancedRank(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds > 12*n/p {
+		t.Errorf("rounds %d > 12·n/p = %d", st.Rounds, 12*n/p)
+	}
+	if st.MaxChain > p {
+		t.Errorf("chain %d exceeds candidate count", st.MaxChain)
+	}
+}
+
+func TestLoadBalancedNoGlobalCompaction(t *testing.T) {
+	// The scheme's raison d'être ([1], §3): it avoids the per-round
+	// global sorting/compaction, so its total work should undercut the
+	// matching-contraction scheme's.
+	n, p := 1<<14, 64
+	l := list.RandomList(n, 31)
+	mlb := pram.New(p)
+	if _, _, err := LoadBalancedRank(mlb, l); err != nil {
+		t.Fatal(err)
+	}
+	mc := pram.New(p)
+	if _, _, err := Rank(mc, l, nil); err != nil {
+		t.Fatal(err)
+	}
+	if mlb.Work() >= mc.Work() {
+		t.Errorf("load-balanced work %d not below contraction work %d", mlb.Work(), mc.Work())
+	}
+}
+
+func TestLoadBalancedSequentialAdversary(t *testing.T) {
+	// A sequential list makes every round's candidates a single long
+	// chain across queues — the stress case for the colour-minima rule.
+	n := 4096
+	l := list.SequentialList(n)
+	m := pram.New(64)
+	rk, st, err := LoadBalancedRank(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range rk {
+		if rk[v] != v {
+			t.Fatalf("rk[%d] = %d (stats %+v)", v, rk[v], st)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rank
+
+import (
+	"math/rand"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+// RandomMateSuffix computes suffix folds by randomized contraction —
+// the probabilistic prefix approach ([13] in the paper) that the
+// deterministic coin-tossing algorithms compete with. Each round every
+// live non-head node flips a coin; a node b is spliced out when b drew
+// heads and its predecessor drew tails (so no two consecutive nodes are
+// removed in one round). An expected constant fraction of nodes leaves
+// per round, giving expected O(log n) rounds; the splice/expand
+// machinery is shared with the deterministic contraction.
+//
+// Returns the suffix folds and the number of contraction rounds.
+func RandomMateSuffix(m *pram.Machine, l *list.List, vals []int, op scan.Op, seed int64) ([]int, int) {
+	n := l.Len()
+	rng := rand.New(rand.NewSource(seed))
+
+	nxt := make([]int, n)
+	val := make([]int, n)
+	pred := make([]int, n)
+	m.ParFor(n, func(v int) { nxt[v] = l.Next[v]; val[v] = vals[v]; pred[v] = list.Nil })
+	m.ParFor(n, func(v int) {
+		if s := l.Next[v]; s != list.Nil {
+			pred[s] = v
+		}
+	})
+
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	head := l.Head
+
+	type rec struct{ node, next, val int }
+	var rounds [][]rec
+	const threshold = 32
+	for len(active) > threshold {
+		cnt := len(active)
+		coin := make([]bool, n)
+		// Coins drawn on the host RNG; one parallel round of charging.
+		for _, v := range active {
+			coin[v] = rng.Intn(2) == 1
+		}
+		m.Charge(int64((cnt+m.Processors()-1)/m.Processors()), int64(cnt))
+
+		// b removed iff coin[b] && pred exists && !coin[pred[b]].
+		removed := make([]bool, n)
+		m.ParFor(cnt, func(i int) {
+			b := active[i]
+			p := pred[b]
+			if coin[b] && p != list.Nil && !coin[p] {
+				removed[b] = true
+			}
+		})
+
+		// Splice: predecessors of removed nodes rewire. No two adjacent
+		// nodes are removed, so every pred of a removed node survives.
+		recMu := make([]rec, cnt)
+		hasRec := make([]bool, cnt)
+		m.ParFor(cnt, func(i int) {
+			b := active[i]
+			if !removed[b] {
+				return
+			}
+			a := pred[b]
+			recMu[i] = rec{node: b, next: nxt[b], val: val[b]}
+			hasRec[i] = true
+			val[a] = op.Apply(val[a], val[b])
+			nxt[a] = nxt[b]
+			if c := nxt[b]; c != list.Nil {
+				pred[c] = a
+			}
+		})
+		recIdx := scan.Compact(m, hasRec, nil)
+		recs := make([]rec, len(recIdx))
+		m.ParFor(len(recIdx), func(i int) { recs[i] = recMu[recIdx[i]] })
+
+		keep := make([]bool, cnt)
+		m.ParFor(cnt, func(i int) { keep[i] = !removed[active[i]] })
+		survIdx := scan.Compact(m, keep, nil)
+		newActive := make([]int, len(survIdx))
+		m.ParFor(len(survIdx), func(i int) { newActive[i] = active[survIdx[i]] })
+
+		if len(recs) > 0 {
+			rounds = append(rounds, recs)
+		}
+		active = newActive
+		if len(rounds) > 64*64 {
+			panic("rank: RandomMateSuffix did not converge")
+		}
+	}
+
+	// Residual walk.
+	suffix := make([]int, n)
+	resOrder := make([]int, 0, len(active))
+	for v := head; v != list.Nil; v = nxt[v] {
+		resOrder = append(resOrder, v)
+	}
+	acc := op.Identity
+	for i := len(resOrder) - 1; i >= 0; i-- {
+		v := resOrder[i]
+		acc = op.Apply(val[v], acc)
+		suffix[v] = acc
+	}
+	m.Charge(int64(len(resOrder)), int64(len(resOrder)))
+
+	for r := len(rounds) - 1; r >= 0; r-- {
+		recs := rounds[r]
+		m.ParFor(len(recs), func(i int) {
+			rc := recs[i]
+			if rc.next == list.Nil {
+				suffix[rc.node] = rc.val
+			} else {
+				suffix[rc.node] = op.Apply(rc.val, suffix[rc.next])
+			}
+		})
+	}
+	return suffix, len(rounds)
+}
+
+// RandomMateRank ranks the list via randomized contraction.
+func RandomMateRank(m *pram.Machine, l *list.List, seed int64) ([]int, int) {
+	n := l.Len()
+	ones := make([]int, n)
+	m.ParFor(n, func(v int) { ones[v] = 1 })
+	suf, rounds := RandomMateSuffix(m, l, ones, scan.Add, seed)
+	rk := make([]int, n)
+	m.ParFor(n, func(v int) { rk[v] = n - suf[v] })
+	return rk, rounds
+}

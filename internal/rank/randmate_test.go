@@ -1,0 +1,98 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+func TestRandomMateRankMatchesPosition(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 10, 100, 5000} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 33)
+			m := pram.New(16)
+			rk, rounds := RandomMateRank(m, l, 7)
+			pos := l.Position()
+			for v := range rk {
+				if rk[v] != pos[v] {
+					t.Fatalf("%s n=%d (rounds=%d): rk[%d]=%d want %d", g.Name, n, rounds, v, rk[v], pos[v])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomMateSuffixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 7, 500, 4096} {
+		l := list.RandomList(n, 21)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(19) - 9
+		}
+		m := pram.New(32)
+		got, _ := RandomMateSuffix(m, l, vals, scan.Add, 3)
+		want := SequentialSuffix(l, vals)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("n=%d: suffix[%d]=%d want %d", n, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestRandomMateRoundsLogarithmic(t *testing.T) {
+	// Expected shrink per round is 1/4 of the live nodes; allow a
+	// generous constant over log_{4/3} n.
+	n := 1 << 15
+	l := list.RandomList(n, 9)
+	m := pram.New(64)
+	_, rounds := RandomMateRank(m, l, 11)
+	bound := 0
+	for v := float64(n); v > 32; v *= 0.75 {
+		bound++
+	}
+	if rounds > 3*bound {
+		t.Errorf("rounds %d > 3× expected bound %d", rounds, 3*bound)
+	}
+}
+
+func TestRandomMateDeterministicPerSeed(t *testing.T) {
+	l := list.RandomList(2000, 13)
+	m1 := pram.New(8)
+	_, r1 := RandomMateRank(m1, l, 42)
+	m2 := pram.New(8)
+	_, r2 := RandomMateRank(m2, l, 42)
+	if r1 != r2 || m1.Time() != m2.Time() {
+		t.Errorf("same seed diverged: rounds %d/%d time %d/%d", r1, r2, m1.Time(), m2.Time())
+	}
+}
+
+func TestRandomMateNonCommutativeFold(t *testing.T) {
+	// Order preservation under randomized splicing too.
+	const M = 97
+	pack := func(al, be int) int { return al*M + be }
+	op := scan.Op{Identity: pack(1, 0), Apply: func(a, b int) int {
+		a1, b1 := a/M, a%M
+		a2, b2 := b/M, b%M
+		return pack(a1*a2%M, (a1*b2+b1)%M)
+	}}
+	rng := rand.New(rand.NewSource(8))
+	n := 1500
+	l := list.RandomList(n, 15)
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = pack(rng.Intn(M-1)+1, rng.Intn(M))
+	}
+	m := pram.New(16)
+	got, _ := RandomMateSuffix(m, l, vals, op, 77)
+	want := sequentialFold(l, vals, op)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("affine-fold[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

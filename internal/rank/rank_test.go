@@ -1,0 +1,260 @@
+package rank
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/pram"
+)
+
+func TestWyllieSuffixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 10, 100, 2048} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 5)
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = rng.Intn(100) - 50
+			}
+			m := pram.New(16)
+			got, rounds := Wyllie(m, l, vals)
+			want := SequentialSuffix(l, vals)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s n=%d: suffix[%d]=%d want %d", g.Name, n, v, got[v], want[v])
+				}
+			}
+			if n > 1 {
+				wantRounds := 0
+				for r := 1; r < n; r *= 2 {
+					wantRounds++
+				}
+				if rounds != wantRounds {
+					t.Errorf("%s n=%d: rounds=%d want %d", g.Name, n, rounds, wantRounds)
+				}
+			}
+		}
+	}
+}
+
+func TestContractSuffixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 33, 100, 2048} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 7)
+			vals := make([]int, n)
+			for i := range vals {
+				vals[i] = rng.Intn(9) - 4
+			}
+			m := pram.New(8)
+			got, _, err := ContractSuffix(m, l, vals, nil)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", g.Name, n, err)
+			}
+			want := SequentialSuffix(l, vals)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s n=%d: suffix[%d]=%d want %d", g.Name, n, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestContractSuffixProperty(t *testing.T) {
+	check := func(seed int64, nn uint16) bool {
+		n := int(nn)%1500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		l := list.RandomList(n, seed)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(21) - 10
+		}
+		m := pram.New(32)
+		got, _, err := ContractSuffix(m, l, vals, nil)
+		if err != nil {
+			return false
+		}
+		want := SequentialSuffix(l, vals)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankMatchesPosition(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 5000} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 9)
+			m := pram.New(16)
+			rk, st, err := Rank(m, l, nil)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", g.Name, n, err)
+			}
+			pos := l.Position()
+			for v := range rk {
+				if rk[v] != pos[v] {
+					t.Fatalf("%s n=%d: rk[%d]=%d want %d (%+v)", g.Name, n, v, rk[v], pos[v], st)
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 7, 300} {
+		l := list.RandomList(n, 8)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50)
+		}
+		m := pram.New(8)
+		got, _, err := Prefix(m, l, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := 0
+		for v := l.Head; v != list.Nil; v = l.Next[v] {
+			acc += vals[v]
+			if got[v] != acc {
+				t.Fatalf("n=%d: prefix[%d]=%d want %d", n, v, got[v], acc)
+			}
+		}
+	}
+}
+
+func TestContractionShrinkBound(t *testing.T) {
+	// A maximal matching covers ≥ ⌈(m-1)/3⌉ pointers, so every round
+	// removes at least that many nodes: MinShrink ≥ ~1/3.
+	for _, n := range []int{200, 5000, 20000} {
+		l := list.RandomList(n, 11)
+		m := pram.New(64)
+		_, st, err := Rank(m, l, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Rounds == 0 {
+			t.Fatalf("n=%d: no contraction rounds", n)
+		}
+		if st.MinShrink < 0.32 {
+			t.Errorf("n=%d: min shrink %.3f below 1/3", n, st.MinShrink)
+		}
+	}
+}
+
+func TestContractionRoundsLogarithmic(t *testing.T) {
+	// Shrinking by ≥1/3 per round ⇒ ≤ log_{3/2}(n/threshold)+1 rounds.
+	n := 1 << 15
+	l := list.RandomList(n, 12)
+	m := pram.New(64)
+	_, st, err := Rank(m, l, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxRounds := 0
+	for v := float64(n); v > 32; v = v * 2 / 3 {
+		maxRounds++
+	}
+	if st.Rounds > maxRounds {
+		t.Errorf("rounds %d > bound %d", st.Rounds, maxRounds)
+	}
+}
+
+func TestContractionWorkIsLinearish(t *testing.T) {
+	// Total work must be O(n) times the per-round matching constant —
+	// crucially NOT growing by an extra log factor. Compare work/n at
+	// two sizes a factor 16 apart: allowed to grow only mildly (the
+	// additive per-round terms), not by ~4x.
+	small, large := 1<<12, 1<<16
+	perNode := func(n int) float64 {
+		l := list.RandomList(n, 13)
+		m := pram.New(64)
+		if _, _, err := Rank(m, l, nil); err != nil {
+			t.Fatal(err)
+		}
+		return float64(m.Work()) / float64(n)
+	}
+	ws, wl := perNode(small), perNode(large)
+	if wl > ws*1.5 {
+		t.Errorf("work/n grew from %.1f to %.1f — super-linear total work", ws, wl)
+	}
+}
+
+func TestWyllieWorkIsNLogN(t *testing.T) {
+	n := 1 << 12
+	l := list.RandomList(n, 14)
+	m := pram.New(64)
+	WyllieRank(m, l)
+	logn := 0
+	for r := 1; r < n; r *= 2 {
+		logn++
+	}
+	lo := int64(n) * int64(logn) // ≥ 2 ops per node per round, minus setup
+	if m.Work() < lo {
+		t.Errorf("Wyllie work %d below n·log n = %d", m.Work(), lo)
+	}
+}
+
+func TestCustomMatcherIsUsed(t *testing.T) {
+	n := 2000
+	l := list.RandomList(n, 15)
+	calls := 0
+	cfg := &Config{
+		Matcher: func(m *pram.Machine, l *list.List) ([]bool, error) {
+			calls++
+			r, err := matching.Match4(m, l, nil, matching.Match4Config{I: 2})
+			if err != nil {
+				return nil, err
+			}
+			return r.In, nil
+		},
+		Threshold: 64,
+	}
+	m := pram.New(8)
+	rk, st, err := Rank(m, l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 || calls != st.Rounds {
+		t.Errorf("matcher calls %d, rounds %d", calls, st.Rounds)
+	}
+	pos := l.Position()
+	for v := range rk {
+		if rk[v] != pos[v] {
+			t.Fatal("custom matcher broke ranking")
+		}
+	}
+	if st.FinalSequential > 64 {
+		t.Errorf("threshold not honoured: %d", st.FinalSequential)
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	var c *Config
+	if c.threshold() != 32 {
+		t.Errorf("nil config threshold = %d", c.threshold())
+	}
+	c2 := &Config{Threshold: 1}
+	if c2.threshold() != 32 {
+		t.Errorf("threshold(1) = %d", c2.threshold())
+	}
+}
+
+func TestSequentialSuffix(t *testing.T) {
+	l := list.FromOrder([]int{2, 0, 1})
+	s := SequentialSuffix(l, []int{10, 20, 30})
+	// Order 2,0,1: suffix[2]=30+10+20=60, suffix[0]=10+20=30, suffix[1]=20.
+	if s[2] != 60 || s[0] != 30 || s[1] != 20 {
+		t.Errorf("suffix = %v", s)
+	}
+}

@@ -1,0 +1,51 @@
+package rank
+
+import (
+	"testing"
+
+	"parlist/internal/color"
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/pram"
+)
+
+func TestSmokeRankAndColor(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 100, 5000} {
+		for _, g := range list.Generators() {
+			l := g.Make(n, 9)
+			m := pram.New(16)
+			rk, st, err := Rank(m, l, nil)
+			if err != nil {
+				t.Fatalf("rank n=%d %s: %v", n, g.Name, err)
+			}
+			pos := l.Position()
+			for v := range rk {
+				if rk[v] != pos[v] {
+					t.Fatalf("rank n=%d %s: rk[%d]=%d want %d (stats %+v)", n, g.Name, v, rk[v], pos[v], st)
+				}
+			}
+			wy := WyllieRank(pram.New(16), l)
+			for v := range wy {
+				if wy[v] != pos[v] {
+					t.Fatalf("wyllie n=%d %s: rk[%d]=%d want %d", n, g.Name, v, wy[v], pos[v])
+				}
+			}
+			m2 := pram.New(8)
+			col := color.ThreeColor(m2, l, nil)
+			if err := color.VerifyColoring(l, col, 3); err != nil {
+				t.Fatalf("3color n=%d %s: %v", n, g.Name, err)
+			}
+			mis := color.MISFromColoring(m2, l, col, 3)
+			if err := color.VerifyMIS(l, mis); err != nil {
+				t.Fatalf("mis-color n=%d %s: %v", n, g.Name, err)
+			}
+			mis2, err := color.MISViaMatching(pram.New(8), l, matching.Match4Config{I: 2})
+			if err != nil {
+				t.Fatalf("mis-match n=%d %s: %v", n, g.Name, err)
+			}
+			if err := color.VerifyMIS(l, mis2); err != nil {
+				t.Fatalf("mis-match n=%d %s: %v", n, g.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package scan provides the classic PRAM scan primitives the paper's
+// algorithms are built from: work-efficient prefix sums, reductions,
+// stream compaction and broadcast, each with honest step accounting
+// (O(n/p + log p) time, O(n + p) work) and EREW-compatible access
+// patterns (chunked local phases plus double-buffered doubling trees).
+//
+// These are the roles Reif's and Cole–Vishkin's partial-sum routines
+// play in the paper; sortint builds its counting sort on PrefixSum, and
+// rank uses Compact for the contraction scheme's survivor lists.
+package scan
+
+import "parlist/internal/pram"
+
+// Op is an associative binary operation with identity id.
+type Op struct {
+	Identity int
+	Apply    func(a, b int) int
+}
+
+// Add is integer addition.
+var Add = Op{Identity: 0, Apply: func(a, b int) int { return a + b }}
+
+// Max is integer maximum.
+var Max = Op{Identity: minInt, Apply: func(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}}
+
+// Min is integer minimum.
+var Min = Op{Identity: maxInt, Apply: func(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+// Exclusive computes the exclusive scan of a under op, returning the
+// scanned slice and the total. Three-phase chunked scheme:
+// per-processor local folds (⌈n/p⌉ steps), a doubling-tree scan over the
+// p partials (O(log p) steps, double-buffered), and per-processor
+// sweeps (⌈n/p⌉ steps).
+func Exclusive(m *pram.Machine, a []int, op Op) (out []int, total int) {
+	n := len(a)
+	out = make([]int, n)
+	if n == 0 {
+		return out, op.Identity
+	}
+	p := m.Processors()
+	c := (n + p - 1) / p
+
+	sums := make([]int, p)
+	m.ProcRun(int64(c), func(q int) {
+		lo, hi := q*c, (q+1)*c
+		if hi > n {
+			hi = n
+		}
+		s := op.Identity
+		for i := lo; i < hi; i++ {
+			s = op.Apply(s, a[i])
+		}
+		sums[q] = s
+	})
+
+	pre := make([]int, p)
+	buf := make([]int, p)
+	m.ProcFor(func(q int) { pre[q] = sums[q] })
+	for d := 1; d < p; d *= 2 {
+		m.ProcFor(func(q int) {
+			if q >= d {
+				buf[q] = op.Apply(pre[q-d], pre[q])
+			} else {
+				buf[q] = pre[q]
+			}
+		})
+		pre, buf = buf, pre
+	}
+	m.ProcFor(func(q int) {
+		if q == 0 {
+			buf[q] = op.Identity
+		} else {
+			buf[q] = pre[q-1]
+		}
+	})
+	pre, buf = buf, pre
+
+	m.ProcRun(int64(c), func(q int) {
+		lo, hi := q*c, (q+1)*c
+		if hi > n {
+			hi = n
+		}
+		s := pre[q]
+		for i := lo; i < hi; i++ {
+			out[i] = s
+			s = op.Apply(s, a[i])
+		}
+	})
+	lastQ := (n - 1) / c
+	total = pre[lastQ]
+	for i := lastQ * c; i < n; i++ {
+		total = op.Apply(total, a[i])
+	}
+	return out, total
+}
+
+// Reduce folds a under op in O(n/p + log p) time.
+func Reduce(m *pram.Machine, a []int, op Op) int {
+	_, total := Exclusive(m, a, op)
+	return total
+}
+
+// Compact returns the indices i with keep[i] == true, in order,
+// using a prefix sum over the indicator vector plus one scatter round.
+// O(n/p + log p) time, EREW (each output cell has exactly one writer).
+func Compact(m *pram.Machine, keep []bool, ind []int) []int {
+	n := len(keep)
+	if ind == nil {
+		ind = make([]int, n)
+	}
+	m.ParFor(n, func(i int) {
+		if keep[i] {
+			ind[i] = 1
+		} else {
+			ind[i] = 0
+		}
+	})
+	pos, total := Exclusive(m, ind, Add)
+	out := make([]int, total)
+	m.ParFor(n, func(i int) {
+		if keep[i] {
+			out[pos[i]] = i
+		}
+	})
+	return out
+}
+
+// Broadcast replicates val into every cell of dst by doubling:
+// O(log n) time, O(n) work, EREW (round r copies cells [0,2^r) into
+// [2^r, 2^(r+1)), so every cell is read and written at most once per
+// round).
+func Broadcast(m *pram.Machine, dst []int, val int) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	m.ParFor(1, func(int) { dst[0] = val })
+	for have := 1; have < n; have *= 2 {
+		cnt := have
+		if have+cnt > n {
+			cnt = n - have
+		}
+		base := have
+		m.ParFor(cnt, func(i int) { dst[base+i] = dst[i] })
+	}
+}

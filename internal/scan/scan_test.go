@@ -1,0 +1,219 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/pram"
+)
+
+func TestExclusiveAdd(t *testing.T) {
+	m := pram.New(3)
+	out, total := Exclusive(m, []int{3, 1, 4, 1, 5}, Add)
+	want := []int{0, 3, 4, 8, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if total != 14 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestExclusiveMax(t *testing.T) {
+	m := pram.New(4)
+	out, total := Exclusive(m, []int{2, 9, 1, 5, 3}, Max)
+	want := []int{minInt, 2, 9, 9, 9}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if total != 9 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestExclusiveMin(t *testing.T) {
+	m := pram.New(2)
+	_, total := Exclusive(m, []int{4, -2, 7}, Min)
+	if total != -2 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestExclusiveEmpty(t *testing.T) {
+	m := pram.New(2)
+	out, total := Exclusive(m, nil, Add)
+	if len(out) != 0 || total != 0 {
+		t.Fatal("empty scan wrong")
+	}
+}
+
+func TestExclusivePropertyAcrossP(t *testing.T) {
+	check := func(raw []int8, pn uint8) bool {
+		p := int(pn)%40 + 1
+		a := make([]int, len(raw))
+		for i, r := range raw {
+			a[i] = int(r)
+		}
+		m := pram.New(p)
+		out, total := Exclusive(m, a, Add)
+		acc := 0
+		for i := range a {
+			if out[i] != acc {
+				return false
+			}
+			acc += a[i]
+		}
+		return total == acc
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExclusiveTimeBound(t *testing.T) {
+	n, p := 100000, 64
+	a := make([]int, n)
+	m := pram.New(p)
+	Exclusive(m, a, Add)
+	// Two chunk sweeps + O(log p) tree rounds.
+	bound := int64(2*((n+p-1)/p)) + 40
+	if m.Time() > bound {
+		t.Errorf("time %d > %d", m.Time(), bound)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := pram.New(8)
+	if got := Reduce(m, []int{5, -3, 9, 0}, Add); got != 11 {
+		t.Errorf("Reduce add = %d", got)
+	}
+	if got := Reduce(m, []int{5, -3, 9, 0}, Max); got != 9 {
+		t.Errorf("Reduce max = %d", got)
+	}
+	if got := Reduce(m, nil, Add); got != 0 {
+		t.Errorf("Reduce empty = %d", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	m := pram.New(4)
+	keep := []bool{true, false, false, true, true, false}
+	got := Compact(m, keep, nil)
+	want := []int{0, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestCompactProperty(t *testing.T) {
+	check := func(keep []bool, pn uint8) bool {
+		p := int(pn)%32 + 1
+		m := pram.New(p)
+		got := Compact(m, keep, nil)
+		j := 0
+		for i, k := range keep {
+			if !k {
+				continue
+			}
+			if j >= len(got) || got[j] != i {
+				return false
+			}
+			j++
+		}
+		return j == len(got)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompactReusesIndicator(t *testing.T) {
+	m := pram.New(2)
+	keep := []bool{true, true, false}
+	ind := make([]int, 3)
+	Compact(m, keep, ind)
+	if ind[0] != 1 || ind[1] != 1 || ind[2] != 0 {
+		t.Errorf("indicator = %v", ind)
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 1000} {
+		m := pram.New(8)
+		dst := make([]int, n)
+		Broadcast(m, dst, 42)
+		for i, v := range dst {
+			if v != 42 {
+				t.Fatalf("n=%d: dst[%d] = %d", n, i, v)
+			}
+		}
+		// O(log n) rounds of ≤ ⌈n/p⌉... time bound loose check.
+		if n > 0 {
+			rounds := 0
+			for h := 1; h < n; h *= 2 {
+				rounds++
+			}
+			if m.Time() > int64((rounds+1)*((n+7)/8)+rounds+1) {
+				t.Errorf("n=%d: time %d too large", n, m.Time())
+			}
+		}
+	}
+}
+
+func TestBroadcastIsEREW(t *testing.T) {
+	// Each doubling round reads [0, 2^r) and writes [2^r, 2^(r+1)):
+	// re-run against a checked array.
+	m := pram.New(4)
+	n := 32
+	a := pram.NewCheckedArray(m, pram.EREW, "bcast", n)
+	m.ParFor(1, func(int) { a.Write(0, 7) })
+	for have := 1; have < n; have *= 2 {
+		cnt := have
+		if have+cnt > n {
+			cnt = n - have
+		}
+		base := have
+		m.ParFor(cnt, func(i int) { a.Write(base+i, a.Read(i)) })
+	}
+	if v := a.Violations(); len(v) != 0 {
+		t.Fatalf("EREW violations: %v", v)
+	}
+	for i := 0; i < n; i++ {
+		if a.Get(i) != 7 {
+			t.Fatalf("cell %d = %d", i, a.Get(i))
+		}
+	}
+}
+
+func TestScanAgainstRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(100) - 50
+	}
+	for _, op := range []Op{Add, Max, Min} {
+		m := pram.New(13)
+		out, total := Exclusive(m, a, op)
+		acc := op.Identity
+		for i := range a {
+			if out[i] != acc {
+				t.Fatalf("mismatch at %d", i)
+			}
+			acc = op.Apply(acc, a[i])
+		}
+		if total != acc {
+			t.Fatal("total mismatch")
+		}
+	}
+}

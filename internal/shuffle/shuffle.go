@@ -1,0 +1,356 @@
+// Package shuffle implements the graph-theoretic view of matching
+// partition functions from the paper's Remark and appendix:
+//
+//	"Construct a graph G as in [10] with each vertex of the graph
+//	denoted by an i-tuple (a₁, a₂, …, a_i) […]. Vertices (a₁,…,a_i) and
+//	(b₁,…,b_i) are connected by an undirected edge iff a_j = b_{j+1},
+//	1 ≤ j < i. A valid vertex coloring of G using 2·log^(i-1) n (1+o(1))
+//	colors gives a table for a matching partition function."
+//
+// A k-argument matching partition function over the universe [0, u) is
+// exactly a proper colouring of this shuffle graph restricted to the
+// tuples that can occur along a labelled list (adjacent entries
+// distinct). The Remark states the two sides of the story this package
+// lets experiments measure:
+//
+//   - upper bound: f^(k) (the fold of f) properly colours the graph with
+//     2·log^(k-1) u (1+o(1)) colours; recent work [8] achieves
+//     log^(k) u (1+o(1));
+//   - lower bound: no matching partition function can use fewer than
+//     log^(k-1) u colours [8,10].
+//
+// For small universes the package computes greedy colourings and exact
+// chromatic numbers by branch-and-bound, quantifying the gap between
+// f^(k), the best achievable, and the lower bound (experiment E13).
+package shuffle
+
+import (
+	"fmt"
+
+	"parlist/internal/bits"
+	"parlist/internal/partition"
+)
+
+// Graph is the shuffle graph over adjacent-distinct k-tuples on [0, u).
+type Graph struct {
+	U, K int
+	// verts lists tuple codes (base-u little-endian: field j = element
+	// a_{j+1}) of the valid (adjacent-distinct) tuples.
+	verts []int
+	// index maps a tuple code to its position in verts (-1 = invalid).
+	index []int
+	// adj[i] lists neighbours of verts[i] as vertex positions.
+	adj [][]int
+}
+
+// MaxVertices bounds construction (u^k enumeration).
+const MaxVertices = 1 << 16
+
+// New builds the shuffle graph for k-tuples over [0, u). k ≥ 1, u ≥ 2,
+// and u^k must stay within MaxVertices.
+func New(u, k int) (*Graph, error) {
+	if u < 2 || k < 1 {
+		return nil, fmt.Errorf("shuffle: New(u=%d, k=%d) out of range", u, k)
+	}
+	total := 1
+	for j := 0; j < k; j++ {
+		total *= u
+		if total > MaxVertices {
+			return nil, fmt.Errorf("shuffle: u^k = %d^%d exceeds %d vertices", u, k, MaxVertices)
+		}
+	}
+	g := &Graph{U: u, K: k, index: make([]int, total)}
+	for code := 0; code < total; code++ {
+		if validTuple(code, u, k) {
+			g.index[code] = len(g.verts)
+			g.verts = append(g.verts, code)
+		} else {
+			g.index[code] = -1
+		}
+	}
+	g.adj = make([][]int, len(g.verts))
+	for vi, code := range g.verts {
+		// Successors: tuples whose prefix is this tuple's suffix —
+		// shift out a₁, shift in any c ≠ a_k.
+		suffix := code / u // fields a₂…a_k in positions 0…k-2
+		last := topField(code, u, k)
+		for c := 0; c < u; c++ {
+			if c == last {
+				continue
+			}
+			succ := suffix + c*pow(u, k-1)
+			si := g.index[succ]
+			if si < 0 || si == vi {
+				continue
+			}
+			g.adj[vi] = append(g.adj[vi], si)
+			g.adj[si] = append(g.adj[si], vi)
+		}
+	}
+	// Deduplicate adjacency (an edge can be discovered from both ends,
+	// and for k = 1 both directions coincide).
+	for vi := range g.adj {
+		seen := map[int]bool{}
+		out := g.adj[vi][:0]
+		for _, w := range g.adj[vi] {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+		g.adj[vi] = out
+	}
+	return g, nil
+}
+
+func validTuple(code, u, k int) bool {
+	prev := -1
+	for j := 0; j < k; j++ {
+		f := code % u
+		if f == prev {
+			return false
+		}
+		prev = f
+		code /= u
+	}
+	return true
+}
+
+func topField(code, u, k int) int {
+	return code / pow(u, k-1)
+}
+
+func pow(b, e int) int {
+	r := 1
+	for j := 0; j < e; j++ {
+		r *= b
+	}
+	return r
+}
+
+// Vertices returns the number of valid tuples.
+func (g *Graph) Vertices() int { return len(g.verts) }
+
+// Edges returns the number of undirected edges.
+func (g *Graph) Edges() int {
+	e := 0
+	for _, a := range g.adj {
+		e += len(a)
+	}
+	return e / 2
+}
+
+// TupleOf decodes vertex vi into its k elements (a₁ first).
+func (g *Graph) TupleOf(vi int) []int {
+	t := make([]int, g.K)
+	code := g.verts[vi]
+	for j := 0; j < g.K; j++ {
+		t[j] = code % g.U
+		code /= g.U
+	}
+	return t
+}
+
+// VerifyColoring checks that col is a proper colouring (adjacent
+// vertices differ) and returns the number of distinct colours.
+func (g *Graph) VerifyColoring(col []int) (int, error) {
+	if len(col) != len(g.verts) {
+		return 0, fmt.Errorf("shuffle: colouring has %d entries, want %d", len(col), len(g.verts))
+	}
+	seen := map[int]bool{}
+	for vi, a := range g.adj {
+		seen[col[vi]] = true
+		for _, w := range a {
+			if col[vi] == col[w] {
+				return 0, fmt.Errorf("shuffle: vertices %v and %v share colour %d",
+					g.TupleOf(vi), g.TupleOf(w), col[vi])
+			}
+		}
+	}
+	return len(seen), nil
+}
+
+// ColoringFromEvaluator colours each vertex with the f^(k) fold of its
+// tuple — Lemma 2's matching partition function viewed as a colouring.
+// Returns the colouring and its colour count.
+func (g *Graph) ColoringFromEvaluator(e *partition.Evaluator) ([]int, int) {
+	col := make([]int, len(g.verts))
+	seen := map[int]bool{}
+	for vi := range g.verts {
+		col[vi] = e.Fold(g.TupleOf(vi))
+		seen[col[vi]] = true
+	}
+	return col, len(seen)
+}
+
+// GreedyColoring colours the graph with the DSATUR heuristic (pick the
+// uncoloured vertex with the most distinct neighbour colours, break
+// ties by degree, assign the smallest available colour), returning the
+// colouring and colour count.
+func (g *Graph) GreedyColoring() ([]int, int) {
+	n := len(g.verts)
+	col := make([]int, n)
+	for i := range col {
+		col[i] = -1
+	}
+	satur := make([]map[int]bool, n)
+	for i := range satur {
+		satur[i] = map[int]bool{}
+	}
+	maxc := 0
+	for done := 0; done < n; done++ {
+		best, bestSat, bestDeg := -1, -1, -1
+		for vi := 0; vi < n; vi++ {
+			if col[vi] >= 0 {
+				continue
+			}
+			s, d := len(satur[vi]), len(g.adj[vi])
+			if s > bestSat || (s == bestSat && d > bestDeg) {
+				best, bestSat, bestDeg = vi, s, d
+			}
+		}
+		c := 0
+		for satur[best][c] {
+			c++
+		}
+		col[best] = c
+		if c+1 > maxc {
+			maxc = c + 1
+		}
+		for _, w := range g.adj[best] {
+			satur[w][c] = true
+		}
+	}
+	return col, maxc
+}
+
+// ChromaticNumber computes the exact chromatic number by iterative
+// deepening branch-and-bound, up to the given search-node budget.
+// Returns (χ, true) on success or (best upper bound, false) when the
+// budget is exhausted.
+func (g *Graph) ChromaticNumber(budget int) (int, bool) {
+	_, ub := g.GreedyColoring()
+	lb := g.cliqueLowerBound()
+	for c := lb; c < ub; c++ {
+		nodes := budget
+		if g.colorable(c, &nodes) {
+			return c, true
+		}
+		if nodes <= 0 {
+			return ub, false
+		}
+	}
+	return ub, true
+}
+
+// cliqueLowerBound finds a greedy clique; its size lower-bounds χ.
+func (g *Graph) cliqueLowerBound() int {
+	best := 1
+	for vi := range g.verts {
+		clique := []int{vi}
+		for _, w := range g.adj[vi] {
+			ok := true
+			for _, c := range clique {
+				if !g.hasEdge(w, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, w)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	return best
+}
+
+func (g *Graph) hasEdge(a, b int) bool {
+	for _, w := range g.adj[a] {
+		if w == b {
+			return true
+		}
+	}
+	return false
+}
+
+// colorable runs backtracking with c colours, ordered by degree, with
+// symmetry breaking on the first vertex.
+func (g *Graph) colorable(c int, nodes *int) bool {
+	n := len(g.verts)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && len(g.adj[order[j-1]]) < len(g.adj[order[j]]) {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	col := make([]int, n)
+	for i := range col {
+		col[i] = -1
+	}
+	var rec func(pos, usedMax int) bool
+	rec = func(pos, usedMax int) bool {
+		if pos == n {
+			return true
+		}
+		*nodes--
+		if *nodes <= 0 {
+			return false
+		}
+		vi := order[pos]
+		lim := usedMax + 1 // symmetry breaking: at most one fresh colour
+		if lim > c {
+			lim = c
+		}
+		for cc := 0; cc < lim; cc++ {
+			ok := true
+			for _, w := range g.adj[vi] {
+				if col[w] == cc {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			col[vi] = cc
+			nu := usedMax
+			if cc == usedMax {
+				nu++
+			}
+			if rec(pos+1, nu) {
+				return true
+			}
+			col[vi] = -1
+			if *nodes <= 0 {
+				return false
+			}
+		}
+		return false
+	}
+	return rec(0, 0)
+}
+
+// LowerBound returns the Remark's lower bound log^(k-1) u on the
+// colours of any k-argument matching partition function [8,10]
+// (minimum 2 — adjacent tuples always need two colours).
+func LowerBound(u, k int) int {
+	lb := bits.LogIter(u, k-1)
+	if lb < 2 {
+		lb = 2
+	}
+	return lb
+}
+
+// FoldUpperBound returns Lemma 2's 2·log^(k-1) u (1+o(1)) bound in its
+// computable form: the label range of f^(k) starting from universe u.
+func FoldUpperBound(u, k int) int {
+	return partition.RangeAfter(u, k-1)
+}

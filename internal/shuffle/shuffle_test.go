@@ -1,0 +1,186 @@
+package shuffle
+
+import (
+	"testing"
+
+	"parlist/internal/partition"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 2); err == nil {
+		t.Error("u=1 accepted")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(256, 4); err == nil {
+		t.Error("oversized graph accepted")
+	}
+}
+
+func TestGraphK1IsComplete(t *testing.T) {
+	g, err := New(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Vertices() != 5 {
+		t.Fatalf("vertices = %d", g.Vertices())
+	}
+	if g.Edges() != 10 {
+		t.Fatalf("edges = %d, want C(5,2)=10", g.Edges())
+	}
+	chi, exact := g.ChromaticNumber(1 << 20)
+	if !exact || chi != 5 {
+		t.Errorf("χ(K5) = %d (exact=%v)", chi, exact)
+	}
+}
+
+func TestGraphK2Structure(t *testing.T) {
+	u := 4
+	g, err := New(u, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid 2-tuples: u(u-1) = 12.
+	if g.Vertices() != 12 {
+		t.Fatalf("vertices = %d, want 12", g.Vertices())
+	}
+	// (a,b)–(b,c): for each middle b, tails a≠b and heads c≠b: edges are
+	// pairs sharing the overlap... count via adjacency symmetric check.
+	for vi := range g.Vertices() {
+		tup := g.TupleOf(vi)
+		for _, w := range g.adj[vi] {
+			wt := g.TupleOf(w)
+			if tup[1] != wt[0] && wt[1] != tup[0] {
+				t.Fatalf("edge %v–%v has no shift overlap", tup, wt)
+			}
+		}
+	}
+}
+
+func TestFoldColoringIsProper(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 8)
+	for _, cfg := range [][2]int{{4, 2}, {8, 2}, {16, 2}, {4, 3}, {8, 3}, {4, 4}} {
+		u, k := cfg[0], cfg[1]
+		g, err := New(u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, cnt := g.ColoringFromEvaluator(e)
+		verified, err := g.VerifyColoring(col)
+		if err != nil {
+			t.Fatalf("u=%d k=%d: %v", u, k, err)
+		}
+		if verified != cnt {
+			t.Fatalf("u=%d k=%d: count mismatch", u, k)
+		}
+		if ub := FoldUpperBound(u, k); cnt > ub {
+			t.Errorf("u=%d k=%d: fold uses %d colours > bound %d", u, k, cnt, ub)
+		}
+	}
+}
+
+func TestGreedyColoringValidAndCompetitive(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 8)
+	for _, cfg := range [][2]int{{8, 2}, {16, 2}, {8, 3}} {
+		u, k := cfg[0], cfg[1]
+		g, err := New(u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gcol, gcnt := g.GreedyColoring()
+		if _, err := g.VerifyColoring(gcol); err != nil {
+			t.Fatalf("greedy colouring invalid: %v", err)
+		}
+		_, fcnt := g.ColoringFromEvaluator(e)
+		// DSATUR should be within a factor 2 of the fold colouring on
+		// these small instances (it usually beats it; the fold colouring
+		// is itself a good colouring — that is the Remark's point).
+		if gcnt > 2*fcnt {
+			t.Errorf("u=%d k=%d: greedy %d far above fold %d", u, k, gcnt, fcnt)
+		}
+	}
+}
+
+func TestChromaticNumberRespectsLowerBound(t *testing.T) {
+	for _, cfg := range [][2]int{{4, 2}, {8, 2}, {4, 3}} {
+		u, k := cfg[0], cfg[1]
+		g, err := New(u, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chi, exact := g.ChromaticNumber(1 << 22)
+		lb := LowerBound(u, k)
+		if chi < lb {
+			t.Errorf("u=%d k=%d: χ=%d below the Remark's lower bound %d (exact=%v)", u, k, chi, lb, exact)
+		}
+		// χ can never exceed the fold colouring.
+		e := partition.NewEvaluator(partition.MSB, 8)
+		_, fcnt := g.ColoringFromEvaluator(e)
+		if exact && chi > fcnt {
+			t.Errorf("u=%d k=%d: χ=%d above fold %d", u, k, chi, fcnt)
+		}
+	}
+}
+
+func TestChromaticBudgetExhaustion(t *testing.T) {
+	g, err := New(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chi, exact := g.ChromaticNumber(4)
+	if exact && chi <= 2 {
+		t.Errorf("implausible χ=%d with 4-node budget", chi)
+	}
+	// The inexact answer must still be a valid upper bound (greedy's).
+	_, ub := g.GreedyColoring()
+	if chi > ub {
+		t.Errorf("reported %d > greedy upper bound %d", chi, ub)
+	}
+}
+
+func TestTupleOfRoundTrip(t *testing.T) {
+	g, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := 0; vi < g.Vertices(); vi++ {
+		tup := g.TupleOf(vi)
+		if len(tup) != 3 {
+			t.Fatal("tuple length")
+		}
+		code := tup[0] + tup[1]*5 + tup[2]*25
+		if g.verts[vi] != code {
+			t.Fatalf("round trip failed at %d", vi)
+		}
+		if tup[0] == tup[1] || tup[1] == tup[2] {
+			t.Fatalf("invalid tuple %v in graph", tup)
+		}
+	}
+}
+
+func TestVerifyColoringRejectsBad(t *testing.T) {
+	g, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := make([]int, g.Vertices())
+	if _, err := g.VerifyColoring(col); err == nil {
+		t.Error("constant colouring accepted")
+	}
+	if _, err := g.VerifyColoring(col[:3]); err == nil {
+		t.Error("short colouring accepted")
+	}
+}
+
+func TestLowerBoundValues(t *testing.T) {
+	if LowerBound(16, 2) != 4 {
+		t.Errorf("LowerBound(16,2) = %d, want log 16 = 4", LowerBound(16, 2))
+	}
+	if LowerBound(16, 3) != 2 {
+		t.Errorf("LowerBound(16,3) = %d, want log^2 16 = 2", LowerBound(16, 3))
+	}
+	if LowerBound(4, 4) != 2 {
+		t.Errorf("LowerBound(4,4) = %d, want floor 2", LowerBound(4, 4))
+	}
+}

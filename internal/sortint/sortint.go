@@ -1,0 +1,171 @@
+// Package sortint provides the integer sorting substrate the matching
+// algorithms schedule with: Match2 sorts all n pointers by matching-set
+// number (integers in {0,…,log^(2)n−1}) — the global step whose cost
+// dominates Lemma 4 and which §3 sets out to eliminate — and Match4 has
+// each processor sort one column of x = log^(i) n set numbers
+// sequentially.
+//
+// The parallel sort is a stable counting sort: per-processor counting
+// over contiguous chunks, a work-efficient parallel prefix sum over the
+// K×p count matrix, and a stable scatter. With p processors and keys in
+// [0,K) it costs O(n/p + K + log p) PRAM time, the role Reif's and
+// Cole–Vishkin's partial-sum routines play in the paper.
+package sortint
+
+import (
+	"fmt"
+
+	"parlist/internal/pram"
+	"parlist/internal/scan"
+)
+
+// SequentialByKey stable-sorts the indices of keys by key value using a
+// counting sort over [0, K). It returns the permutation perm with
+// keys[perm[0]] ≤ keys[perm[1]] ≤ …; equal keys keep index order.
+// O(n + K) sequential time.
+func SequentialByKey(keys []int, K int) []int {
+	count := make([]int, K+1)
+	for _, k := range keys {
+		if k < 0 || k >= K {
+			panic(fmt.Sprintf("sortint: key %d out of range [0,%d)", k, K))
+		}
+		count[k+1]++
+	}
+	for k := 0; k < K; k++ {
+		count[k+1] += count[k]
+	}
+	perm := make([]int, len(keys))
+	for i, k := range keys {
+		perm[count[k]] = i
+		count[k]++
+	}
+	return perm
+}
+
+// SequentialByKeyInto is SequentialByKey with caller-provided scratch:
+// perm receives the permutation (len ≥ len(keys)) and count is the
+// counter scratch (len ≥ K+1). Returns perm[:len(keys)].
+func SequentialByKeyInto(keys []int, K int, perm, count []int) []int {
+	count = count[:K+1]
+	for k := range count {
+		count[k] = 0
+	}
+	for _, k := range keys {
+		if k < 0 || k >= K {
+			panic(fmt.Sprintf("sortint: key %d out of range [0,%d)", k, K))
+		}
+		count[k+1]++
+	}
+	for k := 0; k < K; k++ {
+		count[k+1] += count[k]
+	}
+	perm = perm[:len(keys)]
+	for i, k := range keys {
+		perm[count[k]] = i
+		count[k]++
+	}
+	return perm
+}
+
+// SequentialByKeyInPlace counting-sorts the key values themselves in
+// place (ascending). O(n + K) sequential time.
+func SequentialByKeyInPlace(keys []int, K int) {
+	count := make([]int, K)
+	for _, k := range keys {
+		if k < 0 || k >= K {
+			panic(fmt.Sprintf("sortint: key %d out of range [0,%d)", k, K))
+		}
+		count[k]++
+	}
+	i := 0
+	for k := 0; k < K; k++ {
+		for c := count[k]; c > 0; c-- {
+			keys[i] = k
+			i++
+		}
+	}
+}
+
+// PrefixSum computes the exclusive prefix sums of a on machine m and
+// returns them along with the total. It delegates to the scan package's
+// work-efficient chunked scheme: O(n/p + log p) time, O(n + p) work,
+// EREW-legal.
+func PrefixSum(m *pram.Machine, a []int) (out []int, total int) {
+	return scan.Exclusive(m, a, scan.Add)
+}
+
+// ParallelByKey stable-sorts the indices of keys (values in [0,K)) on
+// machine m, returning the sorted index permutation. Cost
+// O(n/p + K + log p) time, O(n + K·p) work.
+func ParallelByKey(m *pram.Machine, keys []int, K int) []int {
+	n := len(keys)
+	perm := make([]int, n)
+	if n == 0 {
+		return perm
+	}
+	p := m.Processors()
+	c := (n + p - 1) / p
+
+	// Per-processor counting over its chunk: K+n/p… each processor zeroes
+	// its K counters then counts its chunk: K + ⌈n/p⌉ steps.
+	count := make([]int, p*K)
+	m.ProcRun(int64(K), func(q int) {
+		base := q * K
+		for k := 0; k < K; k++ {
+			count[base+k] = 0
+		}
+	})
+	m.ProcRun(int64(c), func(q int) {
+		lo, hi := q*c, (q+1)*c
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			if k < 0 || k >= K {
+				panic(fmt.Sprintf("sortint: key %d out of range [0,%d)", k, K))
+			}
+			count[q*K+k]++
+		}
+	})
+
+	// Global stable ranks: item (key k, chunk q) starts at the exclusive
+	// prefix of the key-major matrix M[k][q] = count[q*K+k]. Transpose
+	// into key-major order, scan, and scatter.
+	mat := make([]int, K*p)
+	m.ParFor(K*p, func(i int) {
+		k, q := i/p, i%p
+		mat[i] = count[q*K+k]
+	})
+	off, _ := PrefixSum(m, mat)
+
+	// Reuse count as per-chunk cursors seeded from the global offsets,
+	// then scatter each chunk in order: stable because equal keys are
+	// placed by ascending (chunk, position).
+	m.ParFor(K*p, func(i int) {
+		k, q := i/p, i%p
+		count[q*K+k] = off[i]
+	})
+	m.ProcRun(int64(c), func(q int) {
+		lo, hi := q*c, (q+1)*c
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			k := keys[i]
+			perm[count[q*K+k]] = i
+			count[q*K+k]++
+		}
+	})
+	return perm
+}
+
+// Sorted reports whether keys[perm[i]] is non-decreasing.
+func Sorted(keys, perm []int) bool {
+	for i := 1; i < len(perm); i++ {
+		if keys[perm[i-1]] > keys[perm[i]] {
+			return false
+		}
+	}
+	return true
+}

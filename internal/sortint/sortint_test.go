@@ -1,0 +1,245 @@
+package sortint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/pram"
+)
+
+func TestSequentialByKeySorts(t *testing.T) {
+	keys := []int{3, 1, 4, 1, 5, 0, 2, 1}
+	perm := SequentialByKey(keys, 6)
+	if !Sorted(keys, perm) {
+		t.Fatalf("not sorted: %v", perm)
+	}
+	// Permutation property.
+	seen := make([]bool, len(keys))
+	for _, i := range perm {
+		if seen[i] {
+			t.Fatalf("index %d repeated", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestSequentialByKeyStable(t *testing.T) {
+	keys := []int{2, 1, 2, 1, 2, 1}
+	perm := SequentialByKey(keys, 3)
+	// The 1s keep order 1,3,5; the 2s keep 0,2,4.
+	want := []int{1, 3, 5, 0, 2, 4}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestSequentialByKeyPanicsOnRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range key did not panic")
+		}
+	}()
+	SequentialByKey([]int{0, 5}, 3)
+}
+
+func TestSequentialByKeyInPlace(t *testing.T) {
+	keys := []int{3, 0, 2, 0, 3, 1}
+	SequentialByKeyInPlace(keys, 4)
+	want := []int{0, 0, 1, 2, 3, 3}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v", keys)
+		}
+	}
+}
+
+func TestPrefixSumSmall(t *testing.T) {
+	m := pram.New(3)
+	out, total := PrefixSum(m, []int{2, 1, 0, 5, 3})
+	want := []int{0, 2, 3, 3, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+	if total != 11 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestPrefixSumEmpty(t *testing.T) {
+	m := pram.New(4)
+	out, total := PrefixSum(m, nil)
+	if len(out) != 0 || total != 0 {
+		t.Fatal("empty prefix sum wrong")
+	}
+}
+
+func TestPrefixSumMatchesSequential(t *testing.T) {
+	check := func(raw []uint8, pn uint8) bool {
+		p := int(pn)%16 + 1
+		a := make([]int, len(raw))
+		for i, r := range raw {
+			a[i] = int(r)
+		}
+		m := pram.New(p)
+		out, total := PrefixSum(m, a)
+		acc := 0
+		for i := range a {
+			if out[i] != acc {
+				return false
+			}
+			acc += a[i]
+		}
+		return total == acc
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixSumAccounting(t *testing.T) {
+	// O(n/p + log p): for n=1000, p=10 expect ≈ 2·100 + scan rounds.
+	m := pram.New(10)
+	a := make([]int, 1000)
+	PrefixSum(m, a)
+	if m.Time() > 250 {
+		t.Errorf("PrefixSum time = %d, want ≲ 2n/p + O(log p)", m.Time())
+	}
+}
+
+func TestParallelByKeyMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		for _, K := range []int{1, 2, 5, 16} {
+			keys := make([]int, n)
+			for i := range keys {
+				keys[i] = rng.Intn(K)
+			}
+			for _, p := range []int{1, 3, 16, 200} {
+				m := pram.New(p)
+				perm := ParallelByKey(m, keys, K)
+				ref := SequentialByKey(keys, K)
+				for i := range ref {
+					if perm[i] != ref[i] {
+						t.Fatalf("n=%d K=%d p=%d: perm[%d]=%d want %d (stability broken)",
+							n, K, p, i, perm[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelByKeyProperty(t *testing.T) {
+	check := func(raw []uint8, pn uint8) bool {
+		p := int(pn)%32 + 1
+		K := 8
+		keys := make([]int, len(raw))
+		for i, r := range raw {
+			keys[i] = int(r) % K
+		}
+		m := pram.New(p)
+		perm := ParallelByKey(m, keys, K)
+		if len(perm) != len(keys) {
+			return false
+		}
+		if !Sorted(keys, perm) {
+			return false
+		}
+		seen := make([]bool, len(keys))
+		for _, i := range perm {
+			if i < 0 || i >= len(keys) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelByKeyAccounting(t *testing.T) {
+	// Time O(n/p + K + log p).
+	n, K, p := 10000, 8, 100
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i % K
+	}
+	m := pram.New(p)
+	ParallelByKey(m, keys, K)
+	bound := int64(6*n/p + 20*K + 50)
+	if m.Time() > bound {
+		t.Errorf("time = %d exceeds loose bound %d", m.Time(), bound)
+	}
+}
+
+func TestParallelByKeyPanicsOnRange(t *testing.T) {
+	m := pram.New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range key did not panic")
+		}
+	}()
+	ParallelByKey(m, []int{1, 9}, 3)
+}
+
+func TestSortedHelper(t *testing.T) {
+	keys := []int{5, 1, 3}
+	if Sorted(keys, []int{0, 1, 2}) {
+		t.Error("Sorted accepted unsorted perm")
+	}
+	if !Sorted(keys, []int{1, 2, 0}) {
+		t.Error("Sorted rejected sorted perm")
+	}
+}
+
+func TestParallelByKeyLargeRandomAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, K := 5000, 13
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(K)
+	}
+	m := pram.New(64)
+	perm := ParallelByKey(m, keys, K)
+	got := make([]int, n)
+	for i, idx := range perm {
+		got[i] = keys[idx]
+	}
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted values differ at %d", i)
+		}
+	}
+}
+
+func TestSequentialByKeyIntoMatches(t *testing.T) {
+	keys := []int{3, 1, 4, 1, 5, 0, 2, 1}
+	perm := make([]int, len(keys))
+	count := make([]int, 7)
+	got := SequentialByKeyInto(keys, 6, perm, count)
+	want := SequentialByKey(keys, 6)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// Scratch reuse across calls.
+	keys2 := []int{0, 0, 5}
+	got2 := SequentialByKeyInto(keys2, 6, perm, count)
+	want2 := SequentialByKey(keys2, 6)
+	for i := range want2 {
+		if got2[i] != want2[i] {
+			t.Fatalf("reuse: got %v want %v", got2, want2)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package table builds Match3's lookup table T: a tabulated matching
+// partition function with several arguments.
+//
+// After Match3's step 2 "crunches" the labels to b = O(log^(k) n) bits
+// and step 3 concatenates g = 2^⌈log G(n)⌉ consecutive labels by pointer
+// jumping, each node holds a g·b-bit key. T maps every key to
+// f^(g)(a₁,…,a_g) — the fold of the matching partition function over the
+// key's fields — so one O(1) lookup replaces the remaining Θ(G(n))
+// iterations. Because the fields of the keys of v and suc(v) overlap
+// shifted by one and adjacent fields always differ along (the cyclic
+// closure of) a labelled list, T's values on consecutive pointers
+// differ: T remains a matching partition function (the paper's extended
+// definition m^(k)(a₁..a_k) ≠ m^(k)(a₂..a_{k+1})).
+//
+// The same construction with smaller g provides Lemma 5's fast
+// partition: an O(log^(i) n)-set partition in O(n·log i/p + log i) time.
+package table
+
+import (
+	"fmt"
+
+	"parlist/internal/bits"
+	"parlist/internal/partition"
+)
+
+// DefaultMaxSize caps table construction at 2^20 entries (the paper's
+// constraint is "the number of processors needed for constructing the
+// table is less than n"; we additionally keep a hard memory cap).
+const DefaultMaxSize = 1 << 20
+
+// Params describes a planned table.
+type Params struct {
+	N          int // list size the plan targets
+	Crunch     int // k: applications of f before concatenation
+	FieldBits  int // b: bits per crunched label
+	Tuple      int // g: concatenated labels per key (a power of two)
+	JumpRounds int // log₂ g pointer-jumping rounds
+	KeyBits    int // g·b
+	Size       int // 2^(g·b) table entries
+	// Effective is the total number of f applications the pipeline
+	// realizes: Crunch + Tuple - 1 (crunching, then a g-argument fold).
+	Effective int
+}
+
+// Plan chooses crunch count k and tuple size g so that the pipeline
+// realizes at least `effective` applications of f while the table stays
+// within maxSize entries. It prefers the smallest PRAM time
+// 2k + 3·log g + 1 among feasible plans. maxSize ≤ 0 selects
+// DefaultMaxSize.
+func Plan(n, effective, maxSize int) (Params, error) {
+	if maxSize <= 0 {
+		maxSize = DefaultMaxSize
+	}
+	if n < 2 {
+		return Params{}, fmt.Errorf("table: Plan n=%d < 2", n)
+	}
+	if effective < 1 {
+		return Params{}, fmt.Errorf("table: Plan effective=%d < 1", effective)
+	}
+	best := Params{}
+	found := false
+	bestCost := 1 << 30
+	for k := 1; k <= effective+1 && k <= 64; k++ {
+		r := partition.RangeAfter(n, k)
+		b := bits.CeilLog2(r)
+		if b < 1 {
+			b = 1
+		}
+		// Smallest power-of-two tuple reaching the effectiveness target.
+		g := 1
+		rounds := 0
+		for k+g-1 < effective {
+			g *= 2
+			rounds++
+			if rounds > 20 {
+				break
+			}
+		}
+		keyBits := g * b
+		if keyBits > 30 {
+			continue
+		}
+		size := 1 << uint(keyBits)
+		if size > maxSize {
+			continue
+		}
+		cost := 2*k + 3*rounds + 1
+		if !found || cost < bestCost {
+			best = Params{
+				N: n, Crunch: k, FieldBits: b, Tuple: g, JumpRounds: rounds,
+				KeyBits: keyBits, Size: size, Effective: k + g - 1,
+			}
+			bestCost = cost
+			found = true
+		}
+	}
+	if !found {
+		return Params{}, fmt.Errorf("table: no feasible plan for n=%d effective=%d maxSize=%d", n, effective, maxSize)
+	}
+	return best, nil
+}
+
+// Table is a built lookup table.
+type Table struct {
+	Params Params
+	// MaxVal is the largest value stored for a valid key; the label
+	// range after lookup is [0, MaxVal+1].
+	MaxVal int
+	// BuildOps is the sequential operation count of construction
+	// (Size · Tuple), used for PRAM charging.
+	BuildOps int64
+	vals     []int8
+}
+
+// Build constructs the table by enumerating every key, decomposing it
+// into Tuple fields of FieldBits bits (field 0 = the node's own label,
+// field j = the label j hops ahead), and folding the matching partition
+// function across the fields. Keys with equal adjacent fields never
+// arise from a labelled list; they are filled with 0.
+func Build(e *partition.Evaluator, p Params) *Table {
+	vals := make([]int8, p.Size)
+	mask := (1 << uint(p.FieldBits)) - 1
+	fields := make([]int, p.Tuple)
+	maxVal := 0
+	for key := 0; key < p.Size; key++ {
+		valid := true
+		prev := -1
+		for j := 0; j < p.Tuple; j++ {
+			f := (key >> uint(j*p.FieldBits)) & mask
+			if f == prev {
+				valid = false
+				break
+			}
+			fields[j] = f
+			prev = f
+		}
+		if !valid {
+			vals[key] = 0
+			continue
+		}
+		v := e.Fold(fields[:p.Tuple])
+		if v > 127 {
+			panic(fmt.Sprintf("table: fold value %d exceeds int8 for key %d", v, key))
+		}
+		vals[key] = int8(v)
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	return &Table{
+		Params:   p,
+		MaxVal:   maxVal,
+		BuildOps: int64(p.Size) * int64(p.Tuple),
+		vals:     vals,
+	}
+}
+
+// Lookup returns T[key].
+func (t *Table) Lookup(key int) int {
+	return int(t.vals[key])
+}
+
+// Size returns the number of entries.
+func (t *Table) Size() int { return len(t.vals) }
+
+// VerifyShift checks the matching-partition property of the table the
+// way the appendix's guess-and-verify scheme does: for every key pair
+// (key(a₁..a_g), key(a₂..a_{g+1})) induced by an adjacent-distinct
+// (g+1)-tuple, the two looked-up values must differ. Exhaustive when the
+// extended key space has at most limit entries; otherwise it strides
+// through it deterministically.
+func (t *Table) VerifyShift(limit int) error {
+	p := t.Params
+	extBits := (p.Tuple + 1) * p.FieldBits
+	if extBits > 62 {
+		return fmt.Errorf("table: VerifyShift key space too large (%d bits)", extBits)
+	}
+	total := int64(1) << uint(extBits)
+	stride := int64(1)
+	if limit > 0 && total > int64(limit) {
+		stride = total / int64(limit)
+		if stride%2 == 0 {
+			stride++ // keep the sweep from aliasing field boundaries
+		}
+	}
+	mask := (1 << uint(p.FieldBits)) - 1
+	keyMask := (1 << uint(p.KeyBits)) - 1
+	for ext := int64(0); ext < total; ext += stride {
+		// Reject tuples with equal adjacent fields.
+		ok := true
+		prev := -1
+		for j := 0; j <= p.Tuple; j++ {
+			f := int(ext>>uint(j*p.FieldBits)) & mask
+			if f == prev {
+				ok = false
+				break
+			}
+			prev = f
+		}
+		if !ok {
+			continue
+		}
+		k1 := int(ext) & keyMask
+		k2 := int(ext>>uint(p.FieldBits)) & keyMask
+		if t.Lookup(k1) == t.Lookup(k2) {
+			return fmt.Errorf("table: shifted keys %#x and %#x share value %d", k1, k2, t.Lookup(k1))
+		}
+	}
+	return nil
+}

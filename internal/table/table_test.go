@@ -1,0 +1,193 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parlist/internal/partition"
+)
+
+func TestPlanBasics(t *testing.T) {
+	p, err := Plan(1<<20, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Effective < 5 {
+		t.Errorf("effective = %d < 5", p.Effective)
+	}
+	if p.Size != 1<<uint(p.KeyBits) || p.KeyBits != p.Tuple*p.FieldBits {
+		t.Errorf("inconsistent params: %+v", p)
+	}
+	if p.Tuple != 1<<uint(p.JumpRounds) {
+		t.Errorf("tuple %d != 2^%d", p.Tuple, p.JumpRounds)
+	}
+	if p.Size > DefaultMaxSize {
+		t.Errorf("size %d over cap", p.Size)
+	}
+}
+
+func TestPlanRespectsMaxSize(t *testing.T) {
+	p, err := Plan(1<<20, 6, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size > 4096 {
+		t.Errorf("size %d > 4096", p.Size)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(1, 3, 0); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Plan(100, 0, 0); err == nil {
+		t.Error("effective=0 accepted")
+	}
+	// An impossible cap.
+	if _, err := Plan(1<<20, 4, 1); err == nil {
+		t.Error("maxSize=1 accepted")
+	}
+}
+
+func TestPlanEffectiveSweep(t *testing.T) {
+	for _, n := range []int{16, 1 << 10, 1 << 20} {
+		for eff := 1; eff <= 12; eff++ {
+			p, err := Plan(n, eff, 0)
+			if err != nil {
+				t.Fatalf("n=%d eff=%d: %v", n, eff, err)
+			}
+			if p.Effective < eff {
+				t.Errorf("n=%d eff=%d: plan effective %d", n, eff, p.Effective)
+			}
+		}
+	}
+}
+
+func TestBuildFoldValuesMatchEvaluator(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 12)
+	p, err := Plan(1<<12, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := Build(e, p)
+	if tb.Size() != p.Size {
+		t.Fatalf("size %d != %d", tb.Size(), p.Size)
+	}
+	mask := (1 << uint(p.FieldBits)) - 1
+	// Spot-check a stride of keys against a direct fold.
+	fields := make([]int, p.Tuple)
+	checked := 0
+	for key := 0; key < p.Size; key += 17 {
+		valid := true
+		prev := -1
+		for j := 0; j < p.Tuple; j++ {
+			f := (key >> uint(j*p.FieldBits)) & mask
+			if f == prev {
+				valid = false
+				break
+			}
+			fields[j] = f
+			prev = f
+		}
+		if !valid {
+			continue
+		}
+		checked++
+		if got, want := tb.Lookup(key), e.Fold(fields); got != want {
+			t.Fatalf("key %#x: lookup %d, fold %d", key, got, want)
+		}
+		if tb.Lookup(key) > tb.MaxVal {
+			t.Fatalf("key %#x exceeds MaxVal", key)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no valid keys checked")
+	}
+}
+
+func TestBuildMaxValIsConstant(t *testing.T) {
+	// The whole point: table values live in a range independent of n.
+	e := partition.NewEvaluator(partition.MSB, 20)
+	for _, n := range []int{1 << 10, 1 << 16, 1 << 20} {
+		p, err := Plan(n, 6, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := Build(e, p)
+		if tb.MaxVal >= 16 {
+			t.Errorf("n=%d: MaxVal = %d, not constant-range", n, tb.MaxVal)
+		}
+	}
+}
+
+func TestVerifyShiftPasses(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 12)
+	for _, eff := range []int{3, 5, 7} {
+		p, err := Plan(1<<16, eff, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := Build(e, p)
+		if err := tb.VerifyShift(1 << 16); err != nil {
+			t.Errorf("eff=%d: %v", eff, err)
+		}
+	}
+}
+
+func TestVerifyShiftCatchesCorruption(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 12)
+	p, err := Plan(1<<12, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := Build(e, p)
+	// Flatten the table: every valid shifted pair now collides.
+	for i := range tb.vals {
+		tb.vals[i] = 1
+	}
+	if err := tb.VerifyShift(1 << 14); err == nil {
+		t.Error("VerifyShift accepted a constant table")
+	}
+}
+
+func TestBuildOpsCharge(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 12)
+	p, err := Plan(1<<12, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := Build(e, p)
+	if tb.BuildOps != int64(p.Size)*int64(p.Tuple) {
+		t.Errorf("BuildOps = %d", tb.BuildOps)
+	}
+}
+
+func TestTableIsMatchingPartitionFunctionProperty(t *testing.T) {
+	// Property form of the shift check with random adjacent-distinct
+	// tuples.
+	e := partition.NewEvaluator(partition.LSB, 12)
+	p, err := Plan(1<<16, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := Build(e, p)
+	mask := (1 << uint(p.FieldBits)) - 1
+	keyMask := (1 << uint(p.KeyBits)) - 1
+	check := func(raw uint64) bool {
+		ext := int(raw) & ((1 << uint((p.Tuple+1)*p.FieldBits)) - 1)
+		prev := -1
+		for j := 0; j <= p.Tuple; j++ {
+			f := (ext >> uint(j*p.FieldBits)) & mask
+			if f == prev {
+				return true // skip invalid tuples
+			}
+			prev = f
+		}
+		k1 := ext & keyMask
+		k2 := (ext >> uint(p.FieldBits)) & keyMask
+		return tb.Lookup(k1) != tb.Lookup(k2)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package table
+
+import (
+	"fmt"
+
+	"parlist/internal/bits"
+	"parlist/internal/partition"
+)
+
+// This file implements the appendix's EREW scheme for evaluating
+// f^(i)(a₁, a₂, …, a_i) with a table of i(i+1)/2 cells:
+//
+//	"These cells are labeled with a_p a_{p+1} … a_{p+q}. Cell a_p
+//	contains a_p. Cell a_p…a_{p+q} is supposed to contain
+//	f^(q+1)(a_p…a_{p+q}). Now we guess these values and place them into
+//	cells and then verify them. A processor verifies the value of cell
+//	a_p…a_{p+q} by computing function value f^(2) using the values in
+//	cells a_p…a_{p+q-1} and a_{p+1}…a_{p+q}. […] This can be checked in
+//	O(log i) time using a binary tree to fan in all the cell values."
+//
+// Triangle is the constructive oracle (the unique correct guess);
+// VerifyTriangle is the appendix's O(1)-depth per-cell check plus the
+// O(log i) fan-in, and EvalGuessVerify ties them together.
+
+// Triangle returns the cells of the evaluation triangle: cells[q][p]
+// holds f^(q+1)(a_p … a_{p+q}) for 0 ≤ q < i and 0 ≤ p < i-q; row 0 is
+// a copy of args. Adjacent args must be distinct.
+func Triangle(e *partition.Evaluator, args []int) [][]int {
+	i := len(args)
+	if i == 0 {
+		panic("table: Triangle of empty tuple")
+	}
+	cells := make([][]int, i)
+	cells[0] = append([]int(nil), args...)
+	for q := 1; q < i; q++ {
+		row := make([]int, i-q)
+		for p := 0; p < i-q; p++ {
+			row[p] = e.Apply(cells[q-1][p], cells[q-1][p+1])
+		}
+		cells[q] = row
+	}
+	return cells
+}
+
+// VerifyTriangle performs the appendix's verification of a guessed
+// triangle: row 0 must equal args, and each higher cell must equal
+// f^(2) of its two supporting cells. All cell checks are independent
+// (O(1) parallel time with one processor per cell); the AND of the
+// i(i+1)/2 verdicts fans in through a binary tree whose depth —
+// Θ(log i) — is returned alongside the outcome.
+func VerifyTriangle(e *partition.Evaluator, args []int, cells [][]int) (fanInDepth int, err error) {
+	i := len(args)
+	total := i * (i + 1) / 2
+	fanInDepth = bits.CeilLog2(total + 1)
+	if len(cells) != i {
+		return fanInDepth, fmt.Errorf("table: triangle has %d rows, want %d", len(cells), i)
+	}
+	for p, a := range args {
+		if len(cells[0]) != i || cells[0][p] != a {
+			return fanInDepth, fmt.Errorf("table: triangle row 0 cell %d does not hold its argument", p)
+		}
+	}
+	for q := 1; q < i; q++ {
+		if len(cells[q]) != i-q {
+			return fanInDepth, fmt.Errorf("table: triangle row %d has %d cells, want %d", q, len(cells[q]), i-q)
+		}
+		for p := 0; p < i-q; p++ {
+			want := e.Apply(cells[q-1][p], cells[q-1][p+1])
+			if cells[q][p] != want {
+				return fanInDepth, fmt.Errorf("table: cell (%d,%d) holds %d, f^(2) of its supports is %d",
+					q, p, cells[q][p], want)
+			}
+		}
+	}
+	return fanInDepth, nil
+}
+
+// EvalGuessVerify evaluates f^(i)(args) by the guess-and-verify scheme:
+// the supplied guess (nil → the constructive Triangle, i.e. the unique
+// correct guess) is verified cell by cell; on success the apex value is
+// returned. "Because there is only one correct guess for
+// f^(i)(a₁,…,a_i) no concurrent read or write is needed."
+func EvalGuessVerify(e *partition.Evaluator, args []int, guess [][]int) (int, error) {
+	if guess == nil {
+		guess = Triangle(e, args)
+	}
+	if _, err := VerifyTriangle(e, args, guess); err != nil {
+		return 0, err
+	}
+	apex := guess[len(args)-1]
+	return apex[0], nil
+}

@@ -1,0 +1,128 @@
+package table
+
+import (
+	"math/rand"
+	"testing"
+
+	"parlist/internal/partition"
+)
+
+func adjacentDistinct(n, max int, rng *rand.Rand) []int {
+	args := make([]int, n)
+	prev := -1
+	for i := range args {
+		for {
+			args[i] = rng.Intn(max)
+			if args[i] != prev {
+				break
+			}
+		}
+		prev = args[i]
+	}
+	return args
+}
+
+func TestTriangleApexEqualsFold(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 12)
+	rng := rand.New(rand.NewSource(3))
+	for _, i := range []int{1, 2, 3, 5, 9} {
+		for trial := 0; trial < 20; trial++ {
+			args := adjacentDistinct(i, 4096, rng)
+			cells := Triangle(e, args)
+			if len(cells) != i {
+				t.Fatalf("i=%d: %d rows", i, len(cells))
+			}
+			apex := cells[i-1][0]
+			if want := e.Fold(args); apex != want {
+				t.Fatalf("i=%d: apex %d != Fold %d", i, apex, want)
+			}
+		}
+	}
+}
+
+func TestTriangleRowWidths(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 8)
+	cells := Triangle(e, []int{1, 2, 3, 4})
+	for q, row := range cells {
+		if len(row) != 4-q {
+			t.Fatalf("row %d has %d cells", q, len(row))
+		}
+	}
+}
+
+func TestVerifyTriangleAcceptsCorrect(t *testing.T) {
+	e := partition.NewEvaluator(partition.LSB, 10)
+	rng := rand.New(rand.NewSource(7))
+	args := adjacentDistinct(6, 1024, rng)
+	cells := Triangle(e, args)
+	depth, err := VerifyTriangle(e, args, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fan-in depth over 21 cells: ⌈log₂ 22⌉ = 5.
+	if depth != 5 {
+		t.Errorf("fan-in depth = %d, want 5", depth)
+	}
+}
+
+func TestVerifyTriangleRejectsCorruption(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 10)
+	rng := rand.New(rand.NewSource(9))
+	args := adjacentDistinct(5, 1024, rng)
+	for q := 1; q < 5; q++ {
+		for p := 0; p < 5-q; p++ {
+			cells := Triangle(e, args)
+			cells[q][p]++ // corrupt one guessed cell
+			if _, err := VerifyTriangle(e, args, cells); err == nil {
+				t.Errorf("corruption at (%d,%d) accepted", q, p)
+			}
+		}
+	}
+	// Corrupt row 0 too.
+	cells := Triangle(e, args)
+	cells[0][2]++
+	if _, err := VerifyTriangle(e, args, cells); err == nil {
+		t.Error("corrupted argument row accepted")
+	}
+}
+
+func TestVerifyTriangleRejectsWrongShape(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 8)
+	args := []int{1, 2, 3}
+	cells := Triangle(e, args)
+	if _, err := VerifyTriangle(e, args, cells[:2]); err == nil {
+		t.Error("missing row accepted")
+	}
+	bad := Triangle(e, args)
+	bad[1] = bad[1][:1]
+	if _, err := VerifyTriangle(e, args, bad); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestEvalGuessVerify(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 10)
+	rng := rand.New(rand.NewSource(11))
+	args := adjacentDistinct(7, 1024, rng)
+	got, err := EvalGuessVerify(e, args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := e.Fold(args); got != want {
+		t.Fatalf("got %d, want %d", got, want)
+	}
+	// A wrong guess must be rejected (there is only one correct guess).
+	bad := Triangle(e, args)
+	bad[len(args)-1][0]++
+	if _, err := EvalGuessVerify(e, args, bad); err == nil {
+		t.Error("wrong guess accepted")
+	}
+}
+
+func TestTriangleSingleArg(t *testing.T) {
+	e := partition.NewEvaluator(partition.MSB, 8)
+	v, err := EvalGuessVerify(e, []int{5}, nil)
+	if err != nil || v != 5 {
+		t.Errorf("single arg: %d, %v", v, err)
+	}
+}

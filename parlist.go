@@ -1,0 +1,145 @@
+// Package parlist is a Go reproduction of Yijie Han's "Matching
+// Partition a Linked List and Its Optimization" (SPAA 1989): parallel
+// symmetry breaking on linked lists via matching partition functions
+// (deterministic coin tossing), four maximal-matching algorithms
+// (Match1–Match4), the WalkDown processor-scheduling optimization, and
+// the applications the paper names — 3-colouring, maximal independent
+// sets, and list ranking / data-dependent prefix — all on a simulated
+// PRAM that counts synchronous steps so measured costs can be compared
+// against the paper's bounds.
+//
+// The root package re-exports the public façade; the implementation
+// lives under internal/ (see DESIGN.md for the full inventory):
+//
+//	res, err := parlist.MaximalMatching(parlist.RandomList(1<<20, 1),
+//	    parlist.Options{Processors: 4096})
+//
+// runs the paper's optimal algorithm (Match4, Theorem 1) and reports the
+// matching together with simulated PRAM time and work.
+package parlist
+
+import (
+	"parlist/internal/core"
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+)
+
+// Re-exported option and result types.
+type (
+	// Options configures an algorithm run; see core.Options.
+	Options = core.Options
+	// Result is a computed maximal matching plus PRAM accounting.
+	Result = core.Result
+	// Algorithm names one of the paper's algorithms.
+	Algorithm = core.Algorithm
+	// List is an array-stored linked list (X[0..n-1] with NEXT pointers).
+	List = list.List
+	// Stats is a simulated-PRAM accounting snapshot.
+	Stats = pram.Stats
+	// Exec selects the simulator executor for Options.Exec.
+	Exec = pram.Exec
+	// Variant selects the matching partition function's bit choice for
+	// Options.Variant.
+	Variant = partition.Variant
+	// Tracer records a round-level execution log for Options.Tracer.
+	Tracer = pram.Tracer
+	// PhaseStat is one named accounting phase inside Stats.
+	PhaseStat = pram.PhaseStat
+)
+
+// Executor selectors.
+const (
+	ExecSequential = pram.Sequential
+	ExecGoroutines = pram.Goroutines
+)
+
+// Matching-partition-function variants.
+const (
+	VariantMSB = partition.MSB
+	VariantLSB = partition.LSB
+)
+
+// Algorithm selectors.
+const (
+	Match1     = core.AlgoMatch1
+	Match2     = core.AlgoMatch2
+	Match3     = core.AlgoMatch3
+	Match4     = core.AlgoMatch4
+	Sequential = core.AlgoSequential
+	Randomized = core.AlgoRandomized
+)
+
+// RankScheme selects a list-ranking algorithm for Options.Rank.
+type RankScheme = core.RankScheme
+
+// Ranking scheme selectors.
+const (
+	RankContraction  = core.RankContraction
+	RankWyllie       = core.RankWyllie
+	RankLoadBalanced = core.RankLoadBalanced
+	RankRandomMate   = core.RankRandomMate
+)
+
+// MaximalMatching computes a maximal matching of the list's pointers.
+func MaximalMatching(l *List, o Options) (*Result, error) {
+	return core.MaximalMatching(l, o)
+}
+
+// Verify checks that in is a maximal matching of l.
+func Verify(l *List, in []bool) error { return core.Verify(l, in) }
+
+// ScheduleMatching converts any matching partition (labels in [0, K),
+// consecutive pointers labelled differently) into a maximal matching
+// with the paper's §4 processor-scheduling technique: O(n/p + K) time.
+func ScheduleMatching(l *List, lab []int, K int, o Options) (*Result, error) {
+	return core.ScheduleMatching(l, lab, K, o)
+}
+
+// Partition computes an O(log^(i) n)-set matching partition of the
+// pointers, returning labels and the label-range size.
+func Partition(l *List, i int, o Options) ([]int, int, error) {
+	return core.Partition(l, i, o)
+}
+
+// ThreeColor computes a proper 3-colouring of the list's nodes.
+func ThreeColor(l *List, o Options) ([]int, Stats, error) {
+	return core.ThreeColor(l, o)
+}
+
+// MIS computes a maximal independent set of the list's nodes.
+func MIS(l *List, o Options) ([]bool, Stats, error) {
+	return core.MIS(l, o)
+}
+
+// Rank computes each node's distance from the head.
+func Rank(l *List, o Options) ([]int, Stats, error) {
+	return core.Rank(l, o)
+}
+
+// Prefix computes data-dependent prefix sums over the list.
+func Prefix(l *List, vals []int, o Options) ([]int, Stats, error) {
+	return core.Prefix(l, vals, o)
+}
+
+// List generators.
+
+// RandomList returns a list visiting a random permutation of addresses.
+func RandomList(n int, seed int64) *List { return list.RandomList(n, seed) }
+
+// SequentialList returns the list 0 → 1 → … → n-1.
+func SequentialList(n int) *List { return list.SequentialList(n) }
+
+// ReversedList returns the list n-1 → … → 0.
+func ReversedList(n int) *List { return list.ReversedList(n) }
+
+// ZigZagList returns the alternating extremes order 0, n-1, 1, n-2, ….
+func ZigZagList(n int) *List { return list.ZigZagList(n) }
+
+// BlockedList returns a list with block-local address locality.
+func BlockedList(n, blockSize int, seed int64) *List {
+	return list.BlockedList(n, blockSize, seed)
+}
+
+// FromOrder builds a list visiting the given address permutation.
+func FromOrder(order []int) *List { return list.FromOrder(order) }
