@@ -203,6 +203,7 @@ func BenchmarkMatch4Layout(b *testing.B) {
 			name = "row-major"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m := pram.New(1024)
 				if _, err := matching.Match4(m, l, nil, matching.Match4Config{I: 3, RowMajor: rm}); err != nil {
@@ -346,17 +347,84 @@ func BenchmarkWallClockGoroutineExec(b *testing.B) {
 	benchWallClock(b, pram.Goroutines)
 }
 
+func BenchmarkWallClockPooledExec(b *testing.B) {
+	benchWallClock(b, pram.Pooled)
+}
+
 func benchWallClock(b *testing.B, exec pram.Exec) {
 	n := 1 << 20
 	l := list.RandomList(n, benchSeed)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m := pram.New(1024, pram.WithExec(exec))
 		if _, err := matching.Match4(m, l, nil, matching.Match4Config{I: 3}); err != nil {
 			b.Fatal(err)
 		}
+		m.Close()
 	}
 	b.SetBytes(int64(n * 8))
+}
+
+// BenchmarkExecutorOverhead measures the pure per-round dispatch cost —
+// an empty ParFor body over n = 1<<18 items — for the spawn-per-round
+// executor vs the persistent pool, across simulated processor counts.
+// Workers are pinned to 4 so the real parallel dispatch path is
+// exercised even on few-core hosts (with the GOMAXPROCS default a
+// single-core machine would silently fall back to inline execution for
+// both executors). The machine is reused across iterations, so the
+// pooled numbers are steady-state: no goroutine spawns and ~0 allocs
+// per round. The sequential rows are the inline baseline: subtracting
+// them isolates pure dispatch overhead (the body itself — n indirect
+// calls — costs the same everywhere when cores are scarce).
+func BenchmarkExecutorOverhead(b *testing.B) {
+	n := 1 << 18
+	for _, exec := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled} {
+		for _, p := range []int{4, 64, 1024} {
+			b.Run(fmt.Sprintf("%s/p=%d", exec, p), func(b *testing.B) {
+				m := pram.New(p, pram.WithExec(exec), pram.WithWorkers(4))
+				defer m.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.ParFor(n, func(int) {})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFusedRounds measures a group of 64 dependent empty rounds
+// dispatched one-by-one vs fused through Machine.Batch (one pool wake +
+// atomic barriers instead of 64 wake/sleep pairs).
+func BenchmarkFusedRounds(b *testing.B) {
+	n := 1 << 18
+	const group = 64
+	for _, fused := range []bool{false, true} {
+		name := "unfused"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := pram.New(1024, pram.WithExec(pram.Pooled), pram.WithWorkers(4))
+			defer m.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fused {
+					m.Batch(func(bt *pram.Batch) {
+						for r := 0; r < group; r++ {
+							bt.ParFor(n, func(int) {})
+						}
+					})
+				} else {
+					for r := 0; r < group; r++ {
+						m.ParFor(n, func(int) {})
+					}
+				}
+			}
+		})
+	}
 }
 
 // E12 — appendix evaluations.

@@ -26,7 +26,8 @@ func main() {
 	gen := flag.String("gen", "random", "generator: random|sequential|reversed|zigzag|blocked")
 	seed := flag.Int64("seed", 1, "generator seed")
 	useTable := flag.Bool("table", false, "use the Lemma 5 table partition in Match4")
-	goroutines := flag.Bool("goroutines", false, "execute simulated steps on a goroutine pool")
+	goroutines := flag.Bool("goroutines", false, "execute simulated steps on a goroutine pool (same as -exec goroutines)")
+	execFlag := flag.String("exec", "", "executor: sequential|goroutines|pooled (overrides -goroutines)")
 	render := flag.Bool("render", false, "draw the bisecting-line view (small n)")
 	trace := flag.Bool("trace", false, "print a round-level trace summary and Gantt bar")
 	load := flag.String("load", "", "read the list from a file written with -save instead of generating")
@@ -81,6 +82,18 @@ func main() {
 	exec := pram.Sequential
 	if *goroutines {
 		exec = pram.Goroutines
+	}
+	switch *execFlag {
+	case "":
+	case "sequential":
+		exec = pram.Sequential
+	case "goroutines":
+		exec = pram.Goroutines
+	case "pooled":
+		exec = pram.Pooled
+	default:
+		fmt.Fprintf(os.Stderr, "listmatch: unknown executor %q\n", *execFlag)
+		os.Exit(2)
 	}
 	var tracer *pram.Tracer
 	if *trace {

@@ -101,6 +101,7 @@ func MaximalMatching(l *list.List, o Options) (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	m := o.machine()
+	defer m.Close()
 	e := o.evaluator(l.Len())
 	algo := o.Algorithm
 	if algo == "" {
@@ -150,6 +151,7 @@ func Partition(l *list.List, i int, o Options) ([]int, int, error) {
 		return nil, 0, fmt.Errorf("core: partition parameter i=%d < 1", i)
 	}
 	m := o.machine()
+	defer m.Close()
 	lab, rng := matching.PartitionIterated(m, l, o.evaluator(l.Len()), i)
 	return lab, rng, nil
 }
@@ -160,6 +162,7 @@ func ThreeColor(l *list.List, o Options) ([]int, pram.Stats, error) {
 		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
 	}
 	m := o.machine()
+	defer m.Close()
 	col := color.ThreeColor(m, l, o.evaluator(l.Len()))
 	return col, m.Snapshot(), nil
 }
@@ -171,6 +174,7 @@ func MIS(l *list.List, o Options) ([]bool, pram.Stats, error) {
 		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
 	}
 	m := o.machine()
+	defer m.Close()
 	i := o.I
 	if i < 1 {
 		i = 3
@@ -204,6 +208,7 @@ func Rank(l *list.List, o Options) ([]int, pram.Stats, error) {
 		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
 	}
 	m := o.machine()
+	defer m.Close()
 	scheme := o.Rank
 	if scheme == "" {
 		scheme = RankContraction
@@ -239,6 +244,7 @@ func Prefix(l *list.List, vals []int, o Options) ([]int, pram.Stats, error) {
 		return nil, pram.Stats{}, fmt.Errorf("core: %d values for %d nodes", len(vals), l.Len())
 	}
 	m := o.machine()
+	defer m.Close()
 	out, _, err := rank.Prefix(m, l, vals, nil)
 	if err != nil {
 		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
@@ -255,6 +261,7 @@ func ScheduleMatching(l *list.List, lab []int, K int, o Options) (*Result, error
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	m := o.machine()
+	defer m.Close()
 	r, err := matching.ScheduleMatching(m, l, lab, K)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)

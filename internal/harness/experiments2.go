@@ -294,7 +294,7 @@ func runE10(cfg Config) ([]*Table, error) {
 	return []*Table{t, tlb, tw}, nil
 }
 
-// runE11 measures wall-clock of the two executors.
+// runE11 measures wall-clock of the executors.
 func runE11(cfg Config) ([]*Table, error) {
 	n := 1 << 20
 	if cfg.Quick {
@@ -306,10 +306,11 @@ func runE11(cfg Config) ([]*Table, error) {
 		Note:   "identical simulated step counts required; wall-clock differs with real cores available",
 		Header: []string{"executor", "simulated-p", "steps", "wall-ms", "match-ok"},
 	}
-	for _, ex := range []pram.Exec{pram.Sequential, pram.Goroutines} {
+	for _, ex := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled} {
 		m := pram.New(1024, pram.WithExec(ex))
 		start := time.Now()
 		r, err := matching.Match4(m, l, nil, matching.Match4Config{I: 3})
+		m.Close()
 		if err != nil {
 			return nil, err
 		}

@@ -100,23 +100,28 @@ func admitBySets(m *pram.Machine, l *list.List, keys, perm []int, K int) []bool 
 	}
 	m.Charge(int64(K+1), int64(K+1))
 
-	for k := 0; k <= K-1; k++ {
-		lo, hi := start[k], end[k]
-		if lo >= hi {
-			continue
+	// One fused group for the whole per-set admission sweep: up to K
+	// consecutive rounds with one pool wake (the set loop is Match2's
+	// round-count hot spot after the sort).
+	m.Batch(func(b *pram.Batch) {
+		for k := 0; k <= K-1; k++ {
+			lo, hi := start[k], end[k]
+			if lo >= hi {
+				continue
+			}
+			b.ParFor(hi-lo, func(i int) {
+				a := perm[lo+i]
+				s := l.Next[a]
+				if s == list.Nil {
+					return
+				}
+				if !done[a] && !done[s] {
+					done[a] = true
+					done[s] = true
+					in[a] = true
+				}
+			})
 		}
-		m.ParFor(hi-lo, func(i int) {
-			a := perm[lo+i]
-			b := l.Next[a]
-			if b == list.Nil {
-				return
-			}
-			if !done[a] && !done[b] {
-				done[a] = true
-				done[b] = true
-				in[a] = true
-			}
-		})
-	}
+	})
 	return in
 }

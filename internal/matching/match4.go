@@ -265,37 +265,44 @@ func match4Finish(m *pram.Machine, l *list.List, lab []int, K, rounds, tableSize
 	}
 
 	// Step 3: WalkDown1 over inter-row pointers, row by row (Lemma 6).
+	// The x row sweeps are consecutive rounds over the same column range
+	// — one fused pool dispatch for the whole walk.
 	m.Phase("walkdown1")
-	for r := 0; r < x; r++ {
-		m.ParFor(y, func(c int) {
-			if r >= colLen(c) {
-				return
-			}
-			v := cellNode[cell(c, r)]
-			if !isPtr(v) || intraRow(v) {
-				return
-			}
-			process(v)
-		})
-	}
+	m.Batch(func(b *pram.Batch) {
+		for r := 0; r < x; r++ {
+			b.ParFor(y, func(c int) {
+				if r >= colLen(c) {
+					return
+				}
+				v := cellNode[cell(c, r)]
+				if !isPtr(v) || intraRow(v) {
+					return
+				}
+				process(v)
+			})
+		}
+	})
 
 	// Step 4: WalkDown2 over intra-row pointers, 2x-1 pipelined steps
-	// (Lemma 7; Corollary 1 guarantees every cell is reached).
+	// (Lemma 7; Corollary 1 guarantees every cell is reached), likewise
+	// fused into a single dispatch group.
 	m.Phase("walkdown2")
 	states := make([]walkState, y)
-	for step := 0; step <= 2*x-2; step++ {
-		m.ParFor(y, func(c int) {
-			r := states[c].advance(colKeys[c], colLen(c))
-			if r < 0 {
-				return
-			}
-			v := cellNode[cell(c, r)]
-			if !isPtr(v) || !intraRow(v) {
-				return
-			}
-			process(v)
-		})
-	}
+	m.Batch(func(b *pram.Batch) {
+		for step := 0; step <= 2*x-2; step++ {
+			b.ParFor(y, func(c int) {
+				r := states[c].advance(colKeys[c], colLen(c))
+				if r < 0 {
+					return
+				}
+				v := cellNode[cell(c, r)]
+				if !isPtr(v) || !intraRow(v) {
+					return
+				}
+				process(v)
+			})
+		}
+	})
 
 	// Step 5: in colouring mode, convert the proper 3-colouring into a
 	// maximal matching with Match1 steps 3–4; in direct mode the

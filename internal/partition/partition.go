@@ -256,6 +256,17 @@ func Step(m *pram.Machine, l *list.List, e *Evaluator, lab, aux, out []int) []in
 // identical values — tests assert this, and the discipline ablation
 // bench measures the 2× round cost EREW pays for exclusive reads.
 func StepWith(m *pram.Machine, l *list.List, e *Evaluator, d Discipline, lab, aux, out []int) []int {
+	return stepOn(m, l, e, d, lab, aux, out)
+}
+
+// parFor abstracts the dispatcher a step runs on: a *pram.Machine for
+// standalone steps, or a *pram.Batch so Iterate can fuse all k
+// applications into one worker-pool dispatch group.
+type parFor interface {
+	ParFor(n int, body func(i int))
+}
+
+func stepOn(px parFor, l *list.List, e *Evaluator, d Discipline, lab, aux, out []int) []int {
 	n := l.Len()
 	if len(lab) != n {
 		panic("partition: Step label length mismatch")
@@ -265,7 +276,7 @@ func StepWith(m *pram.Machine, l *list.List, e *Evaluator, d Discipline, lab, au
 	}
 	head := l.Head
 	if d == DisciplineCREW {
-		m.ParFor(n, func(v int) {
+		px.ParFor(n, func(v int) {
 			s := l.Next[v]
 			if s == list.Nil {
 				s = head
@@ -277,8 +288,8 @@ func StepWith(m *pram.Machine, l *list.List, e *Evaluator, d Discipline, lab, au
 	if aux == nil {
 		aux = make([]int, n)
 	}
-	m.ParFor(n, func(v int) { aux[v] = lab[v] })
-	m.ParFor(n, func(v int) {
+	px.ParFor(n, func(v int) { aux[v] = lab[v] })
+	px.ParFor(n, func(v int) {
 		s := l.Next[v]
 		if s == list.Nil {
 			s = head
@@ -294,7 +305,9 @@ func Iterate(m *pram.Machine, l *list.List, e *Evaluator, k int) []int {
 	return IterateWith(m, l, e, k, DisciplineEREW)
 }
 
-// IterateWith is Iterate under an explicit access discipline.
+// IterateWith is Iterate under an explicit access discipline. All k
+// applications (and the aux-copy rounds EREW inserts) run as one fused
+// dispatch group on the pooled executor.
 func IterateWith(m *pram.Machine, l *list.List, e *Evaluator, k int, d Discipline) []int {
 	lab := InitialLabels(l)
 	n := l.Len()
@@ -303,10 +316,12 @@ func IterateWith(m *pram.Machine, l *list.List, e *Evaluator, k int, d Disciplin
 		aux = make([]int, n)
 	}
 	out := make([]int, n)
-	for i := 0; i < k; i++ {
-		out = StepWith(m, l, e, d, lab, aux, out)
-		lab, out = out, lab
-	}
+	m.Batch(func(b *pram.Batch) {
+		for i := 0; i < k; i++ {
+			out = stepOn(b, l, e, d, lab, aux, out)
+			lab, out = out, lab
+		}
+	})
 	return lab
 }
 

@@ -6,12 +6,16 @@
 // (Time) along with total operations (Work), so measured step counts can
 // be compared directly against bounds such as O(n·log i/p + log^(i) n).
 //
-// Two executors are provided. The sequential executor runs every
+// Three executors are provided. The sequential executor runs every
 // simulated processor in program order and is fully deterministic. The
-// goroutine executor shards each round across real goroutines — the
-// "goroutines for simulated PRAM steps" substitution — and yields
+// goroutine executor shards each round across freshly spawned goroutines
+// — the "goroutines for simulated PRAM steps" substitution — and yields
 // identical step counts (asserted in tests) with real wall-clock
-// parallelism.
+// parallelism. The pooled executor keeps the substitution but replaces
+// the per-round spawn with a persistent worker pool (pool.go) woken per
+// round, plus a fused-round fast path (Machine.Batch) that amortizes one
+// wake across many consecutive rounds; accounting is executor-independent,
+// so all three produce bit-identical Stats.
 //
 // Algorithms written against the Machine must respect the owner-writes
 // contract: within one ParFor round a body may write only cells it owns
@@ -59,16 +63,26 @@ type Exec int
 const (
 	// Sequential runs all simulated processors on the calling goroutine.
 	Sequential Exec = iota
-	// Goroutines shards rounds across a worker pool.
+	// Goroutines spawns a fresh set of goroutines for every round (the
+	// original substitution; kept as the spawn-per-round baseline).
 	Goroutines
+	// Pooled shards rounds across a persistent worker pool created once
+	// in New — no per-round goroutine spawning — and supports fused
+	// dispatch of consecutive rounds via Machine.Batch.
+	Pooled
 )
 
 // String returns the executor name.
 func (e Exec) String() string {
-	if e == Sequential {
+	switch e {
+	case Sequential:
 		return "sequential"
+	case Goroutines:
+		return "goroutines"
+	case Pooled:
+		return "pooled"
 	}
-	return "goroutines"
+	return fmt.Sprintf("exec(%d)", int(e))
 }
 
 // PhaseStat records the time/work accumulated under one named phase.
@@ -118,6 +132,13 @@ type Machine struct {
 
 	checked []resetter
 	tracer  *Tracer
+
+	// pool holds the persistent workers of the Pooled executor (nil for
+	// the other executors and after Close); fused is set while a Batch
+	// has the workers checked out, routing every primitive through the
+	// barrier-driven fused path.
+	pool  *pool
+	fused bool
 }
 
 type resetter interface{ beginRound(base int64) }
@@ -128,8 +149,8 @@ type Option func(*Machine)
 // WithExec selects the executor (default Sequential).
 func WithExec(e Exec) Option { return func(m *Machine) { m.exec = e } }
 
-// WithWorkers sets the real worker count for the Goroutines executor
-// (default runtime.GOMAXPROCS(0)).
+// WithWorkers sets the real worker count for the Goroutines and Pooled
+// executors (default runtime.GOMAXPROCS(0)).
 func WithWorkers(w int) Option {
 	return func(m *Machine) {
 		if w > 0 {
@@ -139,6 +160,12 @@ func WithWorkers(w int) Option {
 }
 
 // New creates a machine with p simulated processors. p must be ≥ 1.
+//
+// With WithExec(Pooled) the persistent workers are started here and live
+// until Close. A finalizer is attached so machines that are simply
+// dropped (the pattern throughout cmd/, examples/ and the benchmarks)
+// release their workers when collected; long-lived callers should still
+// Close explicitly.
 func New(p int, opts ...Option) *Machine {
 	if p < 1 {
 		panic(fmt.Sprintf("pram: New with p=%d", p))
@@ -155,7 +182,27 @@ func New(p int, opts ...Option) *Machine {
 	if m.workers < 1 {
 		m.workers = 1
 	}
+	if m.exec == Pooled && m.workers > 1 {
+		m.pool = newPool(m.workers - 1)
+		// The workers reference only the pool, never the Machine, so an
+		// unreachable Machine is collectable and its finalizer can stop
+		// them.
+		runtime.SetFinalizer(m, (*Machine).Close)
+	}
 	return m
+}
+
+// Close stops the persistent workers of a Pooled machine. Idempotent and
+// safe on any executor. After Close the machine remains usable — rounds
+// execute inline on the calling goroutine — and all accounting is
+// preserved.
+func (m *Machine) Close() {
+	if m.pool == nil {
+		return
+	}
+	m.pool.close()
+	m.pool = nil
+	runtime.SetFinalizer(m, nil)
 }
 
 // Processors returns the simulated processor count p.
@@ -171,10 +218,17 @@ func (m *Machine) Time() int64 { return m.time }
 func (m *Machine) Work() int64 { return m.work }
 
 // Reset clears all accounting (processor count and executor persist).
+// Registered CheckedArrays are notified so per-step conflict bookkeeping
+// from before the Reset cannot leak into the restarted virtual-time
+// axis (virtual step numbers repeat after a Reset).
 func (m *Machine) Reset() {
 	m.time, m.work, m.round, m.vtime = 0, 0, 0, 0
+	m.vproc = 0
 	m.phases = []PhaseStat{{Name: "init"}}
 	m.curPhase = 0
+	for _, c := range m.checked {
+		c.beginRound(0)
+	}
 }
 
 // Phase begins a new named accounting phase; subsequent charges
@@ -227,9 +281,7 @@ func (m *Machine) ParFor(n int, body func(i int)) {
 	}
 	c := ceilDiv(int64(n), int64(m.p))
 	m.beginRound()
-	if m.exec == Goroutines && m.workers > 1 && n > 1 {
-		m.runChunks(n, body)
-	} else {
+	if !m.dispatch(n, body) {
 		if m.checked != nil {
 			// Drive virtual time so CheckedArray sees the true PRAM
 			// schedule: item i runs on processor i/c at local step i mod c.
@@ -263,9 +315,7 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 	}
 	c := ceilDiv(int64(n), int64(m.p))
 	m.beginRound()
-	if m.exec == Goroutines && m.workers > 1 && n > 1 {
-		m.runChunks(n, body)
-	} else {
+	if !m.dispatch(n, body) {
 		if m.checked != nil {
 			for i := 0; i < n; i++ {
 				m.vtime = m.round + (int64(i)%c)*cost
@@ -288,9 +338,7 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 // 1 time step, p work. body receives the processor index.
 func (m *Machine) ProcFor(body func(q int)) {
 	m.beginRound()
-	if m.exec == Goroutines && m.workers > 1 && m.p > 1 {
-		m.runChunks(m.p, body)
-	} else {
+	if !m.dispatch(m.p, body) {
 		if m.checked != nil {
 			m.vtime = m.round
 			for q := 0; q < m.p; q++ {
@@ -318,9 +366,7 @@ func (m *Machine) ProcRun(steps int64, body func(q int)) {
 		panic("pram: ProcRun with negative steps")
 	}
 	m.beginRound()
-	if m.exec == Goroutines && m.workers > 1 && m.p > 1 {
-		m.runChunks(m.p, body)
-	} else {
+	if !m.dispatch(m.p, body) {
 		if m.checked != nil {
 			m.vtime = m.round
 			for q := 0; q < m.p; q++ {
@@ -350,7 +396,31 @@ func (m *Machine) beginRound() {
 	}
 }
 
-// runChunks shards [0,n) across the worker pool.
+// dispatch shards one round of n bodies across real workers and reports
+// whether it did: the fused batch path when a Batch has the pool checked
+// out, the persistent pool for single Pooled rounds, or spawned
+// goroutines for the Goroutines executor. Returns false when the round
+// must run inline (Sequential executor, a single worker, trivial n, or a
+// Pooled machine after Close).
+func (m *Machine) dispatch(n int, body func(i int)) bool {
+	if m.workers <= 1 || n <= 1 {
+		return false
+	}
+	switch {
+	case m.fused && m.pool != nil:
+		m.pool.runFused(n, body)
+	case m.exec == Goroutines:
+		m.runChunks(n, body)
+	case m.exec == Pooled && m.pool != nil:
+		m.pool.run(n, body)
+	default:
+		return false
+	}
+	return true
+}
+
+// runChunks shards [0,n) across freshly spawned goroutines — the
+// spawn-per-round baseline the pooled executor is measured against.
 func (m *Machine) runChunks(n int, body func(i int)) {
 	w := m.workers
 	if w > n {

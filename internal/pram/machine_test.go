@@ -184,6 +184,7 @@ func TestEfficiency(t *testing.T) {
 func TestExecutorsAgreeOnStepCounts(t *testing.T) {
 	run := func(exec Exec) (int64, int64, []int64) {
 		m := New(7, WithExec(exec), WithWorkers(3))
+		defer m.Close()
 		n := 500
 		a := make([]int64, n)
 		m.ParFor(n, func(i int) { a[i] = int64(i) * 3 })
@@ -193,13 +194,15 @@ func TestExecutorsAgreeOnStepCounts(t *testing.T) {
 		return m.Time(), m.Work(), a[:40]
 	}
 	t1, w1, a1 := run(Sequential)
-	t2, w2, a2 := run(Goroutines)
-	if t1 != t2 || w1 != w2 {
-		t.Errorf("executors disagree: time %d vs %d, work %d vs %d", t1, t2, w1, w2)
-	}
-	for i := range a1 {
-		if a1[i] != a2[i] {
-			t.Errorf("executors produced different data at %d: %d vs %d", i, a1[i], a2[i])
+	for _, exec := range []Exec{Goroutines, Pooled} {
+		t2, w2, a2 := run(exec)
+		if t1 != t2 || w1 != w2 {
+			t.Errorf("%v: executors disagree: time %d vs %d, work %d vs %d", exec, t1, t2, w1, w2)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Errorf("%v: different data at %d: %d vs %d", exec, i, a1[i], a2[i])
+			}
 		}
 	}
 }

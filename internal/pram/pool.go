@@ -1,0 +1,237 @@
+package pram
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// pool is the persistent executor behind Exec == Pooled: for a machine
+// with w real workers it keeps w-1 long-lived background goroutines,
+// woken per round instead of spawned per round, while the coordinating
+// goroutine always executes chunk 0 itself — so a round costs w-1 wakes
+// (not w spawns plus a WaitGroup) and useful work starts before the
+// scheduler has run a single background worker. Two dispatch modes:
+//
+//   - single rounds (pool.run): the coordinator publishes the round,
+//     sends one wake message per participating background worker, runs
+//     its own chunk and blocks on the completion channel — zero
+//     allocations in steady state;
+//
+//   - fused batches (beginBatch / runFused / endBatch): the background
+//     workers are checked out once and then driven through consecutive
+//     rounds by a sense-reversing spin barrier over workers+coordinator,
+//     so a group of k logical rounds costs one wake per worker plus 2k
+//     cheap atomic barriers instead of k spawn/WaitGroup cycles.
+//
+// Both modes use the same cache-aware contiguous chunking as the
+// spawn-per-round executor (chunk j covers [j·c, (j+1)·c) with
+// c = ⌈n/active⌉), so each executor visits one contiguous memory range
+// and ranges stay disjoint.
+type pool struct {
+	background int // long-lived worker goroutines (machine workers - 1)
+	slots      []workerSlot
+	done       chan struct{}
+
+	// pending counts background workers still running the current
+	// single-mode round; the last one to finish signals done.
+	pending atomic.Int32
+
+	// op is the currently published round. In single mode it is written
+	// before the wake sends and read after the receives; in batch mode
+	// it is written before a barrier arrival and read after the release,
+	// so both modes have a happens-before edge covering it.
+	op poolOp
+
+	// Sense-reversing barrier over background workers + the coordinator:
+	// arriving increments arrived; the last arrival resets the count and
+	// bumps the generation, releasing the spinners.
+	parties int32
+	arrived atomic.Int32
+	gen     atomic.Uint32
+
+	closed bool
+}
+
+// poolOp is one synchronous round: body over [0, n) split into `active`
+// contiguous chunks — chunk 0 for the coordinator, chunk q+1 for
+// background worker q. end marks the batch-termination sentinel.
+type poolOp struct {
+	n      int
+	active int
+	body   func(i int)
+	end    bool
+}
+
+// poolMsg wakes a parked background worker into one of the dispatch
+// modes.
+type poolMsg uint8
+
+const (
+	msgRun   poolMsg = iota // execute the published op, then re-park
+	msgBatch                // enter the barrier-driven batch loop
+)
+
+// workerSlot is per-worker state, padded to a cache line so adjacent
+// workers' hot fields (the wake channel pointer and the round counter,
+// which only its own worker writes) never share a line.
+type workerSlot struct {
+	wake   chan poolMsg
+	rounds uint64 // rounds executed by this worker (diagnostics)
+	_      [48]byte
+}
+
+// newPool starts `background` parked goroutines; the effective
+// parallelism is background+1 because the coordinator always works too.
+// background must be ≥ 1 (with zero the Machine runs inline instead).
+func newPool(background int) *pool {
+	p := &pool{
+		background: background,
+		slots:      make([]workerSlot, background),
+		done:       make(chan struct{}),
+		parties:    int32(background) + 1,
+	}
+	for q := range p.slots {
+		p.slots[q].wake = make(chan poolMsg, 1)
+		go p.worker(q)
+	}
+	return p
+}
+
+// worker is one background goroutine: parked on its wake channel between
+// dispatches, terminated by closing the channel.
+func (p *pool) worker(q int) {
+	slot := &p.slots[q]
+	for msg := range slot.wake {
+		switch msg {
+		case msgRun:
+			op := p.op
+			p.runChunk(q+1, op)
+			slot.rounds++
+			if p.pending.Add(-1) == 0 {
+				p.done <- struct{}{}
+			}
+		case msgBatch:
+			for {
+				p.barrier() // wait for the next op to be published
+				op := p.op
+				if !op.end {
+					p.runChunk(q+1, op)
+					slot.rounds++
+				}
+				p.barrier() // round complete / op consumed
+				if op.end {
+					break
+				}
+			}
+		}
+	}
+}
+
+// runChunk executes chunk `idx` of op (contiguous ⌈n/active⌉ items).
+func (p *pool) runChunk(idx int, op poolOp) {
+	if idx >= op.active {
+		return
+	}
+	c := (op.n + op.active - 1) / op.active
+	lo := idx * c
+	hi := lo + c
+	if hi > op.n {
+		hi = op.n
+	}
+	for i := lo; i < hi; i++ {
+		op.body(i)
+	}
+}
+
+// run dispatches one round outside a batch: wake the background workers,
+// run the coordinator's chunk, block until the last worker finishes.
+func (p *pool) run(n int, body func(i int)) {
+	active := p.background + 1
+	if active > n {
+		active = n
+	}
+	p.op = poolOp{n: n, active: active, body: body}
+	woken := active - 1
+	if woken > 0 {
+		p.pending.Store(int32(woken))
+		for q := 0; q < woken; q++ {
+			p.slots[q].wake <- msgRun
+		}
+	}
+	p.runChunk(0, p.op)
+	if woken > 0 {
+		<-p.done
+	}
+	p.op.body = nil // do not retain the caller's closure between rounds
+}
+
+// beginBatch checks every background worker out into the barrier-driven
+// loop. All of them participate in the barriers even when an op's active
+// count is smaller; idle workers just pass through.
+func (p *pool) beginBatch() {
+	for q := range p.slots {
+		p.slots[q].wake <- msgBatch
+	}
+}
+
+// runFused dispatches one round inside a batch: publish, release the
+// workers through the barrier, run the coordinator's chunk, rejoin at
+// the completion barrier. The coordinator stays a barrier participant,
+// so host code between fused rounds runs exactly where a spawn-per-round
+// executor would run it — fusion changes the synchronization cost, never
+// the schedule.
+func (p *pool) runFused(n int, body func(i int)) {
+	active := p.background + 1
+	if active > n {
+		active = n
+	}
+	p.op = poolOp{n: n, active: active, body: body}
+	p.barrier() // release: workers read op and run their chunks
+	p.runChunk(0, p.op)
+	p.barrier() // join: all chunks done, op consumable again
+	p.op.body = nil
+}
+
+// endBatch publishes the termination sentinel and re-parks the workers.
+func (p *pool) endBatch() {
+	p.op = poolOp{end: true}
+	p.barrier()
+	p.barrier()
+}
+
+// barrier is one sense-reversing rendezvous of all parties. Waiters spin
+// hot briefly (the common case: every participant is already running),
+// then yield, then back off to short sleeps so a long host-code section
+// between fused rounds does not burn CPU.
+func (p *pool) barrier() {
+	gen := p.gen.Load()
+	if p.arrived.Add(1) == p.parties {
+		p.arrived.Store(0)
+		p.gen.Add(1)
+		return
+	}
+	for spins := 0; p.gen.Load() == gen; spins++ {
+		switch {
+		case spins < 128:
+			// hot spin
+		case spins < 4096:
+			runtime.Gosched()
+		default:
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+}
+
+// close terminates the background workers. Idempotent; only called from
+// the owning Machine (Close or its finalizer), never concurrently with
+// dispatch.
+func (p *pool) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for q := range p.slots {
+		close(p.slots[q].wake)
+	}
+}

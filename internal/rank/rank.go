@@ -30,23 +30,28 @@ func Wyllie(m *pram.Machine, l *list.List, vals []int) ([]int, int) {
 	n := l.Len()
 	s := make([]int, n)
 	nxt := make([]int, n)
-	m.ParFor(n, func(v int) {
-		s[v] = vals[v]
-		nxt[v] = l.Next[v]
-	})
 	auxS := make([]int, n)
 	auxN := make([]int, n)
 	rounds := 0
-	for r := 1; r < n; r *= 2 {
-		rounds++
-		m.ParFor(n, func(v int) { auxS[v] = s[v]; auxN[v] = nxt[v] })
-		m.ParFor(n, func(v int) {
-			if w := auxN[v]; w != list.Nil {
-				s[v] += auxS[w]
-				nxt[v] = auxN[w]
-			}
+	// The whole jump loop is one fused group: Θ(log n) consecutive
+	// rounds over the same index range, dispatched to the pool with a
+	// single worker wake instead of one spawn per round.
+	m.Batch(func(b *pram.Batch) {
+		b.ParFor(n, func(v int) {
+			s[v] = vals[v]
+			nxt[v] = l.Next[v]
 		})
-	}
+		for r := 1; r < n; r *= 2 {
+			rounds++
+			b.ParFor(n, func(v int) { auxS[v] = s[v]; auxN[v] = nxt[v] })
+			b.ParFor(n, func(v int) {
+				if w := auxN[v]; w != list.Nil {
+					s[v] += auxS[w]
+					nxt[v] = auxN[w]
+				}
+			})
+		}
+	})
 	return s, rounds
 }
 
@@ -231,18 +236,20 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 	}
 	m.Charge(int64(len(resOrder)), int64(len(resOrder)))
 
-	// Expansion: reverse the rounds.
-	for r := len(rounds) - 1; r >= 0; r-- {
-		recs := rounds[r]
-		m.ParFor(len(recs), func(i int) {
-			rec := recs[i]
-			if rec.next == list.Nil {
-				suffix[rec.node] = rec.val
-			} else {
-				suffix[rec.node] = op.Apply(rec.val, suffix[rec.next])
-			}
-		})
-	}
+	// Expansion: reverse the rounds, fused into one dispatch group.
+	m.Batch(func(b *pram.Batch) {
+		for r := len(rounds) - 1; r >= 0; r-- {
+			recs := rounds[r]
+			b.ParFor(len(recs), func(i int) {
+				rec := recs[i]
+				if rec.next == list.Nil {
+					suffix[rec.node] = rec.val
+				} else {
+					suffix[rec.node] = op.Apply(rec.val, suffix[rec.next])
+				}
+			})
+		}
+	})
 	return suffix, stats, nil
 }
 

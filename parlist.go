@@ -52,6 +52,7 @@ type (
 const (
 	ExecSequential = pram.Sequential
 	ExecGoroutines = pram.Goroutines
+	ExecPooled     = pram.Pooled
 )
 
 // Matching-partition-function variants.
