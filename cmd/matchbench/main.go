@@ -22,9 +22,10 @@ func main() {
 	exp := flag.String("exp", "", "experiment ID to run (e.g. E7); empty = all")
 	quick := flag.Bool("quick", false, "shrink the sweeps")
 	seed := flag.Int64("seed", 1, "list-generation seed")
+	check := flag.Bool("verify", false, "re-check experiment outputs with the independent verifiers")
 	flag.Parse()
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Verify: *check}
 	var suite []harness.Experiment
 	if *exp == "" {
 		suite = harness.All()

@@ -44,6 +44,9 @@ func runE1(cfg Config) ([]*Table, error) {
 			if err := partition.Verify(l, lab); err != nil {
 				return nil, err
 			}
+			if err := cfg.checkPartition(l, lab); err != nil {
+				return nil, err
+			}
 			sets := partition.DistinctCount(l, lab)
 			bound := 2 * bits.CeilLog2(n)
 			t.Add(n, g.Name, sets, bound, float64(sets)/float64(bound))
@@ -68,6 +71,9 @@ func runE2(cfg Config) ([]*Table, error) {
 		for k := 1; k <= 6; k++ {
 			m := pram.New(64)
 			lab := partition.Iterate(m, l, evalFor(n), k)
+			if err := cfg.checkPartition(l, lab); err != nil {
+				return nil, err
+			}
 			err := partition.Verify(l, lab)
 			ok := "yes"
 			if err != nil {
@@ -103,6 +109,9 @@ func runE3(cfg Config) ([]*Table, error) {
 		if err := matching.Verify(l, r.In); err != nil {
 			return nil, err
 		}
+		if err := cfg.checkMatching(l, r.In); err != nil {
+			return nil, err
+		}
 		pred := int64(n)*g/int64(p) + g
 		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.Stats.Work, r.Stats.Efficiency(int64(n)))
 	}
@@ -126,6 +135,9 @@ func runE4(cfg Config) ([]*Table, error) {
 		m := pram.New(p)
 		r := matching.Match2(m, l, nil)
 		if err := matching.Verify(l, r.In); err != nil {
+			return nil, err
+		}
+		if err := cfg.checkMatching(l, r.In); err != nil {
 			return nil, err
 		}
 		var sortTime int64
@@ -160,6 +172,9 @@ func runE5(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		if err := matching.Verify(l, r.In); err != nil {
+			return nil, err
+		}
+		if err := cfg.checkMatching(l, r.In); err != nil {
 			return nil, err
 		}
 		pred := matching.Match3Predicted(n, p)

@@ -42,6 +42,9 @@ func runE7(cfg Config) ([]*Table, error) {
 			if err := matching.Verify(l, r.In); err != nil {
 				return nil, err
 			}
+			if err := cfg.checkMatching(l, r.In); err != nil {
+				return nil, err
+			}
 			pred := int64(i)*int64(n)/int64(p) + int64(r.Sets)
 			t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.Stats.Efficiency(int64(n)), fmt.Sprint(p <= pstar))
 		}
@@ -66,6 +69,9 @@ func runE7(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		if err := matching.Verify(l, r2.In); err != nil {
+			return nil, err
+		}
+		if err := cfg.checkMatching(l, r2.In); err != nil {
 			return nil, err
 		}
 		ta.Add(p, r1.Stats.Time, r2.Stats.Time, r2.TableSize)
@@ -110,6 +116,11 @@ func runE8(cfg Config) ([]*Table, error) {
 			return nil, err
 		}
 		times["match4"] = r4.Stats.Time
+		for _, r := range []*matching.Result{r1, r2, r3, r4} {
+			if err := cfg.checkMatching(l, r.In); err != nil {
+				return nil, err
+			}
+		}
 		m = pram.New(p)
 		_, rounds := matching.Randomized(m, l, cfg.Seed)
 		times["randomized"] = m.Time()
@@ -235,6 +246,11 @@ func runE10(cfg Config) ([]*Table, error) {
 				return nil, fmt.Errorf("E10: rank mismatch at %d", v)
 			}
 		}
+		for _, rk := range [][]int{w, c, rm} {
+			if err := cfg.checkRanks(l, rk); err != nil {
+				return nil, err
+			}
+		}
 		t.Add(p, mw.Time(), mc.Time(), mr.Time(), st.Rounds, rmRounds, st.MinShrink)
 	}
 
@@ -260,6 +276,9 @@ func runE10(cfg Config) ([]*Table, error) {
 			if rk[v] != pos[v] {
 				return nil, fmt.Errorf("E10c: rank mismatch at %d", v)
 			}
+		}
+		if err := cfg.checkRanks(l, rk); err != nil {
+			return nil, err
 		}
 		tlb.Add(p, mc.Time(), mlb.Time(), mc.Work(), mlb.Work(), st.Rounds, st.MaxChain)
 	}

@@ -7,6 +7,9 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"parlist/internal/list"
+	"parlist/internal/verify"
 )
 
 // Config tunes experiment scale.
@@ -15,6 +18,38 @@ type Config struct {
 	Quick bool
 	// Seed drives all list generation.
 	Seed int64
+	// Verify re-checks experiment outputs with the independent checkers
+	// from internal/verify (matchbench -verify). The experiments already
+	// validate results with the algorithm-side checkers; this adds the
+	// from-first-principles pass on top.
+	Verify bool
+}
+
+// checkMatching applies the independent maximal-matching checker when
+// cfg.Verify is set.
+func (cfg Config) checkMatching(l *list.List, in []bool) error {
+	if !cfg.Verify {
+		return nil
+	}
+	return verify.MaximalMatching(l, in)
+}
+
+// checkPartition applies the independent matching-partition checker
+// when cfg.Verify is set.
+func (cfg Config) checkPartition(l *list.List, lab []int) error {
+	if !cfg.Verify {
+		return nil
+	}
+	return verify.Partition(l, lab, 0)
+}
+
+// checkRanks applies the independent list-rank checker when cfg.Verify
+// is set.
+func (cfg Config) checkRanks(l *list.List, rk []int) error {
+	if !cfg.Verify {
+		return nil
+	}
+	return verify.Ranks(l, rk)
 }
 
 // DefaultConfig is the full-scale configuration used for EXPERIMENTS.md.

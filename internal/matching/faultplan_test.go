@@ -1,0 +1,120 @@
+// Adversarial-schedule equivalence: the paper's algorithms synchronize
+// at every PRAM round, so their outputs and accounting must be
+// bit-identical no matter which real worker runs which chunk or how the
+// workers are delayed against each other. The fault-injection executor
+// (pram.WithFaults) makes that claim machine-checkable: each seeded
+// plan permutes the per-round worker→chunk assignment and/or stalls
+// pseudo-random (round, worker) pairs, and the results are compared
+// against the unperturbed Sequential executor field by field.
+package matching_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/pram"
+	"parlist/internal/rank"
+	"parlist/internal/verify"
+)
+
+// faultPlans are the adversarial schedules every algorithm below must
+// be invariant under.
+var faultPlans = []struct {
+	name string
+	plan *pram.FaultPlan
+}{
+	{"permute-a", &pram.FaultPlan{Seed: 11, PermuteSchedule: true}},
+	{"permute-b", &pram.FaultPlan{Seed: 1213, PermuteSchedule: true}},
+	{"stall", &pram.FaultPlan{Seed: 7, StallOneIn: 101, StallFor: 200 * time.Microsecond}},
+	{"permute+stall", &pram.FaultPlan{Seed: 40, PermuteSchedule: true, StallOneIn: 59, StallFor: 100 * time.Microsecond}},
+}
+
+// faultMachine builds the pooled machine under test for one plan. The
+// generous watchdog stays armed so a deadlock in the perturbed barriers
+// would fail the test instead of hanging it.
+func faultMachine(plan *pram.FaultPlan) *pram.Machine {
+	return pram.New(64,
+		pram.WithExec(pram.Pooled),
+		pram.WithWorkers(4),
+		pram.WithFaults(plan),
+		pram.WithWatchdog(30*time.Second))
+}
+
+func TestFaultPlanEquivalenceMatching(t *testing.T) {
+	n := 12000
+	l := list.RandomList(n, 4242)
+	algos := []struct {
+		name string
+		run  func(m *pram.Machine) *matching.Result
+	}{
+		{"match2", func(m *pram.Machine) *matching.Result { return matching.Match2(m, l, nil) }},
+		{"match4", func(m *pram.Machine) *matching.Result {
+			r, err := matching.Match4(m, l, nil, matching.Match4Config{I: 3})
+			if err != nil {
+				t.Fatalf("match4: %v", err)
+			}
+			return r
+		}},
+	}
+	for _, a := range algos {
+		ref := a.run(pram.New(64))
+		if err := verify.MaximalMatching(l, ref.In); err != nil {
+			t.Fatalf("%s reference output invalid: %v", a.name, err)
+		}
+		for _, fp := range faultPlans {
+			m := faultMachine(fp.plan)
+			got := a.run(m)
+			m.Close()
+			if !reflect.DeepEqual(got.In, ref.In) {
+				t.Errorf("%s under %s: matching differs from sequential", a.name, fp.name)
+			}
+			if got.Stats.Time != ref.Stats.Time || got.Stats.Work != ref.Stats.Work {
+				t.Errorf("%s under %s: accounting %d/%d differs from sequential %d/%d",
+					a.name, fp.name, got.Stats.Time, got.Stats.Work, ref.Stats.Time, ref.Stats.Work)
+			}
+			if !reflect.DeepEqual(got.Stats.Phases, ref.Stats.Phases) {
+				t.Errorf("%s under %s: phase stats diverged:\n%+v\nvs\n%+v",
+					a.name, fp.name, got.Stats.Phases, ref.Stats.Phases)
+			}
+			if err := verify.MaximalMatching(l, got.In); err != nil {
+				t.Errorf("%s under %s: %v", a.name, fp.name, err)
+			}
+		}
+	}
+}
+
+// TestFaultPlanEquivalenceRank drives Wyllie ranking — the fused
+// pointer-jumping hot loop, the heaviest Batch user in the repo —
+// through every adversarial schedule.
+func TestFaultPlanEquivalenceRank(t *testing.T) {
+	n := 12000
+	l := list.RandomList(n, 555)
+	mref := pram.New(64)
+	refRanks := rank.WyllieRank(mref, l)
+	refStats := mref.Snapshot()
+	if err := verify.Ranks(l, refRanks); err != nil {
+		t.Fatalf("reference ranks invalid: %v", err)
+	}
+	for _, fp := range faultPlans {
+		m := faultMachine(fp.plan)
+		got := rank.WyllieRank(m, l)
+		stats := m.Snapshot()
+		m.Close()
+		if !reflect.DeepEqual(got, refRanks) {
+			t.Errorf("wyllie under %s: ranks differ from sequential", fp.name)
+		}
+		if stats.Time != refStats.Time || stats.Work != refStats.Work {
+			t.Errorf("wyllie under %s: accounting %d/%d differs from sequential %d/%d",
+				fp.name, stats.Time, stats.Work, refStats.Time, refStats.Work)
+		}
+		if !reflect.DeepEqual(stats.Phases, refStats.Phases) {
+			t.Errorf("wyllie under %s: phase stats diverged", fp.name)
+		}
+		if err := verify.Ranks(l, got); err != nil {
+			t.Errorf("wyllie under %s: %v", fp.name, err)
+		}
+	}
+}

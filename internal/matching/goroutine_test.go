@@ -15,6 +15,7 @@ import (
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 	"parlist/internal/rank"
+	"parlist/internal/verify"
 )
 
 var equivExecs = []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled}
@@ -56,6 +57,9 @@ func TestExecutorEquivalenceMatching(t *testing.T) {
 			}
 			if err := matching.Verify(l, r.In); err != nil {
 				t.Errorf("%s %v: %v", a.name, exec, err)
+			}
+			if err := verify.MaximalMatching(l, r.In); err != nil {
+				t.Errorf("%s %v: independent checker: %v", a.name, exec, err)
 			}
 			if exec == pram.Sequential {
 				ref = r
@@ -101,6 +105,9 @@ func TestExecutorEquivalenceRank(t *testing.T) {
 			}
 			got := run{ranks: rk, stats: m.Snapshot()}
 			m.Close()
+			if err := verify.Ranks(l, rk); err != nil {
+				t.Errorf("%s %v: independent checker: %v", scheme, exec, err)
+			}
 			if exec == pram.Sequential {
 				ref = got
 				continue
@@ -133,6 +140,9 @@ func TestExecutorEquivalencePartition(t *testing.T) {
 			lab := partition.IterateWith(m, l, e, 3, d)
 			tm, wk := m.Time(), m.Work()
 			m.Close()
+			if err := verify.Partition(l, lab, 0); err != nil {
+				t.Errorf("%v %v: independent checker: %v", d, exec, err)
+			}
 			if exec == pram.Sequential {
 				refLab, refTime, refWork = lab, tm, wk
 				continue

@@ -33,7 +33,16 @@ func (m *Machine) Batch(f func(b *Batch)) {
 		m.fused = true
 		defer func() {
 			m.fused = false
-			m.pool.endBatch()
+			// A dispatch failure inside the batch already tore the pool
+			// down (failPool) — nothing left to release then.
+			if m.pool == nil {
+				return
+			}
+			if st := m.pool.endBatch(); st != nil {
+				m.pool = nil
+				m.note("pram: barrier watchdog abandoned the worker pool while closing a batch: %v", st)
+				panic(st)
+			}
 		}()
 	}
 	f(&Batch{m: m})

@@ -1,0 +1,90 @@
+package pram
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file defines the executor's failure-semantics contract (see
+// DESIGN.md "Failure semantics").
+//
+// A panic inside a parallel round body is recovered on the real worker
+// that hit it, recorded as a WorkerPanic, and re-raised on the
+// coordinating goroutine once the round's synchronization has drained —
+// so the remaining workers park cleanly and no goroutine is leaked. The
+// machine itself survives: after the re-panic it has degraded to inline
+// execution (the pool is shut down), all accounting is preserved, and
+// Close remains idempotent.
+//
+// A fused-round barrier that stalls past the (default-off) watchdog
+// deadline is reported as a BarrierStall naming the workers that never
+// arrived, instead of spinning silently forever.
+
+// WorkerPanic is the value the coordinator re-panics with after a panic
+// inside a parallel round body was recovered on a real worker. Value
+// holds the original panic value and Stack the panicking goroutine's
+// stack at recovery time, so the failure is attributable even though it
+// crossed goroutines.
+//
+// Worker identifies the real executor that panicked: on the pooled
+// executor participant 0 is the coordinating goroutine and participant
+// q ≥ 1 is background worker q; on the spawn-per-round goroutines
+// executor it is the spawned chunk index. Round is the executor's
+// dispatch-round counter (pooled) or the machine's simulated round
+// (goroutines) when the panic occurred.
+type WorkerPanic struct {
+	Value  any
+	Worker int
+	Round  uint64
+	Stack  []byte
+}
+
+// Error formats the failure with the captured worker stack.
+func (e *WorkerPanic) Error() string {
+	return fmt.Sprintf("pram: panic in parallel round %d on worker %d: %v\nworker stack:\n%s",
+		e.Round, e.Worker, e.Value, e.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error.
+func (e *WorkerPanic) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// BarrierStall reports a fused-round barrier that the watchdog declared
+// stalled: the coordinator waited longer than the configured deadline
+// for the workers listed in Missing (participant ids, q ≥ 1) to arrive.
+// The pool is abandoned when this is raised — a wedged worker cannot be
+// killed, only diagnosed — and the machine degrades to inline
+// execution.
+type BarrierStall struct {
+	Round   uint64
+	Waited  time.Duration
+	Missing []int
+}
+
+// Error names the workers that never reached the barrier.
+func (e *BarrierStall) Error() string {
+	return fmt.Sprintf("pram: fused-round barrier stalled %v in round %d; workers not arrived: %v",
+		e.Waited, e.Round, e.Missing)
+}
+
+// WithWatchdog arms the fused-round barrier watchdog: when the
+// coordinator waits longer than d at a batch barrier it raises a
+// BarrierStall naming the missing workers instead of spinning forever.
+// Default off (d = 0). Only the coordinator's waits are monitored —
+// background workers legitimately wait unboundedly while host code runs
+// between fused rounds.
+func WithWatchdog(d time.Duration) Option {
+	return func(m *Machine) { m.watchdog = d }
+}
+
+// WithFaults installs a deterministic fault-injection plan on the
+// pooled executor (no-op on the others). Used by tests to prove that
+// outputs and accounting are schedule-independent and that the panic
+// recovery paths work; see FaultPlan.
+func WithFaults(plan *FaultPlan) Option {
+	return func(m *Machine) { m.faults = plan }
+}

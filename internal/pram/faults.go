@@ -1,0 +1,103 @@
+package pram
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultPlan is a seeded, deterministic perturbation of the pooled
+// executor, consulted on every dispatched round. It exists to make the
+// schedule-independence claims machine-checkable: the paper's
+// algorithms (and the Stats accounting) must produce bit-identical
+// results no matter which real worker executes which chunk or how the
+// workers are delayed relative to each other, because every round is a
+// full synchronization point. Tests run the same computation under
+// several plans and assert equality with the Sequential executor.
+//
+// All decisions derive from Seed through a splitmix64 hash of the
+// (round, worker) coordinates, so a plan is reproducible across runs
+// and across machines without any shared RNG state between workers.
+type FaultPlan struct {
+	// Seed drives the schedule permutation and stall selection.
+	Seed int64
+	// PermuteSchedule reassigns workers to chunks with a fresh seeded
+	// permutation every round (worker q no longer always runs chunk q).
+	PermuteSchedule bool
+	// StallOneIn, when > 0, stalls roughly one in k (round, worker)
+	// pairs for StallFor before the chunk runs, jittering the real
+	// schedule without changing any result.
+	StallOneIn int
+	// StallFor is the injected stall duration (default 100µs).
+	StallFor time.Duration
+	// PanicAt injects a panic at exact (round, worker) coordinates,
+	// exercising the recovery path deterministically.
+	PanicAt []FaultPoint
+	// PanicValue is the value injected panics carry (default: a
+	// descriptive string naming the coordinates).
+	PanicValue any
+}
+
+// FaultPoint pins an injection to a dispatch round and a barrier
+// participant (0 = coordinator, q ≥ 1 = background worker q). Rounds
+// count pool dispatches from 0 in program order.
+type FaultPoint struct {
+	Round  uint64
+	Worker int
+}
+
+// perm returns the round's worker→chunk assignment: a seeded
+// permutation of [0, active). Participants ≥ active keep their identity
+// mapping (they have no chunk either way).
+func (f *FaultPlan) perm(round uint64, active int) []int {
+	out := make([]int, active)
+	for i := range out {
+		out[i] = i
+	}
+	h := splitmix64(uint64(f.Seed) ^ (round+1)*0x9e3779b97f4a7c15)
+	for i := active - 1; i > 0; i-- {
+		h = splitmix64(h)
+		j := int(h % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// stall returns how long the given worker sleeps before running its
+// chunk of the given round (0 = no stall).
+func (f *FaultPlan) stall(round uint64, worker int) time.Duration {
+	if f.StallOneIn <= 0 {
+		return 0
+	}
+	h := splitmix64(uint64(f.Seed)*0x9e3779b97f4a7c15 ^ round<<8 ^ uint64(worker))
+	if h%uint64(f.StallOneIn) != 0 {
+		return 0
+	}
+	if f.StallFor > 0 {
+		return f.StallFor
+	}
+	return 100 * time.Microsecond
+}
+
+// injected reports whether a panic is planned at (round, worker) and
+// with which value.
+func (f *FaultPlan) injected(round uint64, worker int) (any, bool) {
+	for _, pt := range f.PanicAt {
+		if pt.Round == round && pt.Worker == worker {
+			if f.PanicValue != nil {
+				return f.PanicValue, true
+			}
+			return fmt.Sprintf("pram: injected fault at round %d worker %d", round, worker), true
+		}
+	}
+	return nil, false
+}
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, well-mixed hash used
+// to derive per-(round, worker) decisions from the plan seed without
+// shared state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

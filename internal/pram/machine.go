@@ -29,7 +29,10 @@ package pram
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Model identifies a PRAM memory-access model.
@@ -98,6 +101,10 @@ type Stats struct {
 	Time       int64 // synchronous PRAM steps
 	Work       int64 // total unit operations
 	Phases     []PhaseStat
+	// Notes records lifecycle degradations (a recovered worker panic, a
+	// CheckedArray disabled under a parallel executor) so results that
+	// ran in a degraded mode are visibly marked. Nil in normal runs.
+	Notes []string
 }
 
 // Efficiency returns seqWork / (p·T): 1.0 means a perfectly optimal
@@ -132,13 +139,18 @@ type Machine struct {
 
 	checked []resetter
 	tracer  *Tracer
+	notes   []string
 
 	// pool holds the persistent workers of the Pooled executor (nil for
-	// the other executors and after Close); fused is set while a Batch
-	// has the workers checked out, routing every primitive through the
-	// barrier-driven fused path.
-	pool  *pool
-	fused bool
+	// the other executors, after Close, and after a recovered failure
+	// degraded the machine to inline execution); fused is set while a
+	// Batch has the workers checked out, routing every primitive through
+	// the barrier-driven fused path. faults and watchdog are the
+	// robustness knobs forwarded to the pool (failure.go, faults.go).
+	pool     *pool
+	fused    bool
+	faults   *FaultPlan
+	watchdog time.Duration
 }
 
 type resetter interface{ beginRound(base int64) }
@@ -184,6 +196,8 @@ func New(p int, opts ...Option) *Machine {
 	}
 	if m.exec == Pooled && m.workers > 1 {
 		m.pool = newPool(m.workers - 1)
+		m.pool.faults = m.faults
+		m.pool.watchdog = m.watchdog
 		// The workers reference only the pool, never the Machine, so an
 		// unreachable Machine is collectable and its finalizer can stop
 		// them.
@@ -220,8 +234,15 @@ func (m *Machine) Work() int64 { return m.work }
 // Reset clears all accounting (processor count and executor persist).
 // Registered CheckedArrays are notified so per-step conflict bookkeeping
 // from before the Reset cannot leak into the restarted virtual-time
-// axis (virtual step numbers repeat after a Reset).
+// axis (virtual step numbers repeat after a Reset). Reset must not be
+// called inside an open Batch: the fused rounds issued so far would be
+// charged to the discarded accounting while the rest of the batch
+// charges the fresh one, so it panics with a clear message instead of
+// silently splitting a batch's accounting.
 func (m *Machine) Reset() {
+	if m.fused {
+		panic("pram: Reset inside an open Batch (finish the batch before resetting accounting)")
+	}
 	m.time, m.work, m.round, m.vtime = 0, 0, 0, 0
 	m.vproc = 0
 	m.phases = []PhaseStat{{Name: "init"}}
@@ -247,8 +268,22 @@ func (m *Machine) Snapshot() Stats {
 			ph = append(ph, p)
 		}
 	}
-	return Stats{Processors: m.p, Time: m.time, Work: m.work, Phases: ph}
+	return Stats{
+		Processors: m.p,
+		Time:       m.time,
+		Work:       m.work,
+		Phases:     ph,
+		Notes:      append([]string(nil), m.notes...),
+	}
 }
+
+// note records a lifecycle degradation surfaced through Stats.Notes.
+func (m *Machine) note(format string, args ...any) {
+	m.notes = append(m.notes, fmt.Sprintf(format, args...))
+}
+
+// Notes returns the degradation notes recorded so far.
+func (m *Machine) Notes() []string { return append([]string(nil), m.notes...) }
 
 func (m *Machine) charge(t, w int64) {
 	m.time += t
@@ -401,32 +436,83 @@ func (m *Machine) beginRound() {
 // out, the persistent pool for single Pooled rounds, or spawned
 // goroutines for the Goroutines executor. Returns false when the round
 // must run inline (Sequential executor, a single worker, trivial n, or a
-// Pooled machine after Close).
+// Pooled machine after Close or a recovered failure).
+//
+// A panic recovered from a worker (or a watchdog-declared barrier
+// stall) is re-raised here on the coordinator after the round's
+// synchronization has drained; the aborted round is not charged. For
+// the pooled executor the machine first degrades to inline execution —
+// see failPool.
 func (m *Machine) dispatch(n int, body func(i int)) bool {
 	if m.workers <= 1 || n <= 1 {
 		return false
 	}
 	switch {
 	case m.fused && m.pool != nil:
-		m.pool.runFused(n, body)
+		if err := m.pool.runFused(n, body); err != nil {
+			m.failPool(err)
+		}
 	case m.exec == Goroutines:
-		m.runChunks(n, body)
+		if rec := m.runChunks(n, body); rec != nil {
+			panic(rec)
+		}
 	case m.exec == Pooled && m.pool != nil:
-		m.pool.run(n, body)
+		if err := m.pool.run(n, body); err != nil {
+			m.failPool(err)
+		}
 	default:
 		return false
 	}
 	return true
 }
 
+// failPool tears the pooled executor down after a dispatch failure and
+// re-raises the failure on the coordinator. After a recovered
+// WorkerPanic the workers have parked cleanly (the barrier or
+// completion channel drained), so they are released and joined — no
+// goroutine outlives the failure. After a BarrierStall at least one
+// worker is wedged, so the pool is abandoned instead: the aborted flag
+// makes the responsive workers exit on their own and only the wedged
+// body's goroutine remains, now diagnosed rather than silently
+// spinning. Either way the machine survives, degrades to inline
+// execution with accounting intact, and Close stays idempotent.
+func (m *Machine) failPool(err error) {
+	p := m.pool
+	m.pool = nil
+	runtime.SetFinalizer(m, nil)
+	switch e := err.(type) {
+	case *WorkerPanic:
+		if m.fused {
+			m.fused = false
+			if st := p.endBatch(); st != nil {
+				m.note("pram: worker pool abandoned while unwinding a recovered panic: %v", st)
+				panic(err)
+			}
+		}
+		p.close()
+		m.note("pram: panic in round %d on worker %d recovered; machine degraded to inline execution", e.Round, e.Worker)
+	case *BarrierStall:
+		m.fused = false
+		m.note("pram: barrier watchdog abandoned the worker pool in round %d (missing workers %v); machine degraded to inline execution", e.Round, e.Missing)
+	}
+	panic(err)
+}
+
 // runChunks shards [0,n) across freshly spawned goroutines — the
-// spawn-per-round baseline the pooled executor is measured against.
-func (m *Machine) runChunks(n int, body func(i int)) {
+// spawn-per-round baseline the pooled executor is measured against. A
+// panicking chunk is recovered and reported (first panic wins) after
+// every goroutine has been joined, so the executor never crashes the
+// process from a spawned goroutine.
+func (m *Machine) runChunks(n int, body func(i int)) *WorkerPanic {
 	w := m.workers
 	if w > n {
 		w = n
 	}
-	var wg sync.WaitGroup
+	var (
+		wg      sync.WaitGroup
+		failure atomic.Pointer[WorkerPanic]
+	)
+	round := uint64(m.round)
 	chunk := (n + w - 1) / w
 	for q := 0; q < w; q++ {
 		lo := q * chunk
@@ -438,12 +524,23 @@ func (m *Machine) runChunks(n int, body func(i int)) {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(q, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					failure.CompareAndSwap(nil, &WorkerPanic{
+						Value:  r,
+						Worker: q,
+						Round:  round,
+						Stack:  debug.Stack(),
+					})
+				}
+			}()
 			for i := lo; i < hi; i++ {
 				body(i)
 			}
-		}(lo, hi)
+		}(q, lo, hi)
 	}
 	wg.Wait()
+	return failure.Load()
 }

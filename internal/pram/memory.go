@@ -40,31 +40,50 @@ type cellState struct {
 //     "same-step-raw" (a synchrony hazard: a true PRAM would return the
 //     old value, the sequential simulator may return the new one).
 //
-// CheckedArray requires the Sequential executor; New panics otherwise.
+// Checking requires the Sequential executor; under a parallel executor
+// the array auto-degrades to plain storage (see NewCheckedArray).
 type CheckedArray struct {
-	m     *Machine
-	model Model
-	name  string
-	data  []int
-	cells map[[2]int64]*cellState // key: {vtime, cell}
-	viol  []Violation
+	m        *Machine
+	model    Model
+	name     string
+	disabled bool
+	data     []int
+	cells    map[[2]int64]*cellState // key: {vtime, cell}
+	viol     []Violation
 }
 
 // NewCheckedArray registers a checked array of length n on machine m.
+//
+// Access-discipline checking needs the Sequential executor: conflict
+// attribution relies on the deterministic virtual-time interleaving the
+// sequential simulator drives, and the bookkeeping map is not safe for
+// concurrent bodies. Under a parallel executor the array auto-degrades
+// instead of panicking: it still stores and returns values (race-free
+// under the same owner-writes contract as any plain array), but records
+// no accesses and reports no violations, and the degradation is noted
+// in the machine's Stats.Notes — so model checks compose with
+// ExecPooled/ExecGoroutines runs, with the unverified discipline
+// visibly marked rather than crashing.
 func NewCheckedArray(m *Machine, model Model, name string, n int) *CheckedArray {
-	if m.exec != Sequential {
-		panic("pram: CheckedArray requires the Sequential executor")
-	}
 	a := &CheckedArray{
 		m:     m,
 		model: model,
 		name:  name,
 		data:  make([]int, n),
-		cells: make(map[[2]int64]*cellState),
 	}
+	if m.exec != Sequential {
+		a.disabled = true
+		m.note("pram: CheckedArray %q: %s discipline checking disabled under the %s executor", name, model, m.exec)
+		return a
+	}
+	a.cells = make(map[[2]int64]*cellState)
 	m.checked = append(m.checked, a)
 	return a
 }
+
+// Checked reports whether access-discipline checking is active (false
+// when the array degraded under a non-Sequential executor).
+func (a *CheckedArray) Checked() bool { return !a.disabled }
 
 func (a *CheckedArray) beginRound(base int64) {
 	// Virtual steps never repeat across primitives, so prior bookkeeping
@@ -91,6 +110,9 @@ func (a *CheckedArray) Len() int { return len(a.data) }
 
 // Read returns the value at cell i, recording the access.
 func (a *CheckedArray) Read(i int) int {
+	if a.disabled {
+		return a.data[i]
+	}
 	c := a.cell(i)
 	proc := a.m.vproc
 	if c.firstReader < 0 {
@@ -122,6 +144,10 @@ func (a *CheckedArray) Read(i int) int {
 
 // Write stores v at cell i, recording the access.
 func (a *CheckedArray) Write(i, v int) {
+	if a.disabled {
+		a.data[i] = v
+		return
+	}
 	c := a.cell(i)
 	proc := a.m.vproc
 	crossRead := c.firstReader >= 0 && (c.firstReader != proc || c.multiReaders)

@@ -5,14 +5,39 @@ import (
 	"testing"
 )
 
-func TestCheckedArrayRequiresSequential(t *testing.T) {
-	m := New(4, WithExec(Goroutines))
-	defer func() {
-		if recover() == nil {
-			t.Error("CheckedArray on goroutine executor did not panic")
+func TestCheckedArrayDegradesUnderParallelExecutors(t *testing.T) {
+	for _, exec := range []Exec{Goroutines, Pooled} {
+		m := New(4, WithExec(exec), WithWorkers(4))
+		a := NewCheckedArray(m, EREW, "a", 8)
+		if a.Checked() {
+			t.Errorf("%s: discipline checking claims to be active", exec)
 		}
-	}()
-	NewCheckedArray(m, EREW, "a", 8)
+		notes := m.Snapshot().Notes
+		if len(notes) != 1 || !strings.Contains(notes[0], "disabled") {
+			t.Errorf("%s: degradation not noted in Stats: %v", exec, notes)
+		}
+		// Storage still works (owner-writes access pattern), and no
+		// violations are ever recorded in degraded mode.
+		m.ParFor(8, func(i int) { a.Write(i, i*i) })
+		m.ParFor(8, func(i int) {
+			if a.Read(i) != i*i {
+				t.Errorf("%s: cell %d lost its value", exec, i)
+			}
+		})
+		if v := a.Violations(); len(v) != 0 {
+			t.Errorf("%s: degraded array recorded violations: %v", exec, v)
+		}
+		m.Close()
+	}
+
+	// On the Sequential executor checking stays on.
+	m := New(4)
+	if a := NewCheckedArray(m, EREW, "a", 8); !a.Checked() {
+		t.Error("sequential executor: checking not active")
+	}
+	if notes := m.Snapshot().Notes; len(notes) != 0 {
+		t.Errorf("sequential executor: spurious notes %v", notes)
+	}
 }
 
 func TestEREWDetectsConcurrentRead(t *testing.T) {

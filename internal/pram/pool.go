@@ -2,6 +2,7 @@ package pram
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 )
@@ -28,6 +29,16 @@ import (
 // spawn-per-round executor (chunk j covers [j·c, (j+1)·c) with
 // c = ⌈n/active⌉), so each executor visits one contiguous memory range
 // and ranges stay disjoint.
+//
+// Failure semantics: every chunk runs under runChunkSafe, which
+// recovers panics and records the first one as a WorkerPanic; the
+// round's synchronization (completion channel or barrier) always
+// drains, so the surviving workers park cleanly and run/runFused can
+// hand the failure to the owning Machine, which re-panics it on the
+// coordinator. A coordinator barrier wait that exceeds the optional
+// watchdog deadline raises a BarrierStall naming the missing workers
+// and flips aborted, which makes every barrier spinner exit its
+// goroutine instead of spinning forever.
 type pool struct {
 	background int // long-lived worker goroutines (machine workers - 1)
 	slots      []workerSlot
@@ -50,17 +61,33 @@ type pool struct {
 	arrived atomic.Int32
 	gen     atomic.Uint32
 
+	// failure holds the first WorkerPanic recovered from any chunk;
+	// aborted tells barrier spinners to exit their goroutines (set by
+	// the watchdog when a barrier is declared stalled).
+	failure atomic.Pointer[WorkerPanic]
+	aborted atomic.Bool
+
+	// rounds counts dispatched rounds (coordinator-only writes); faults
+	// and watchdog are the optional robustness knobs (see faults.go and
+	// failure.go).
+	rounds   uint64
+	faults   *FaultPlan
+	watchdog time.Duration
+
 	closed bool
 }
 
 // poolOp is one synchronous round: body over [0, n) split into `active`
-// contiguous chunks — chunk 0 for the coordinator, chunk q+1 for
-// background worker q. end marks the batch-termination sentinel.
+// contiguous chunks — chunk 0 for the coordinator, chunk q for
+// background worker q, unless perm reassigns them. end marks the
+// batch-termination sentinel.
 type poolOp struct {
 	n      int
 	active int
 	body   func(i int)
 	end    bool
+	round  uint64
+	perm   []int // optional participant→chunk permutation (fault plans)
 }
 
 // poolMsg wakes a parked background worker into one of the dispatch
@@ -73,12 +100,14 @@ const (
 )
 
 // workerSlot is per-worker state, padded to a cache line so adjacent
-// workers' hot fields (the wake channel pointer and the round counter,
-// which only its own worker writes) never share a line.
+// workers' hot fields (the wake channel pointer, the round counter and
+// the barrier-arrival generation, which only its own worker writes)
+// never share a line.
 type workerSlot struct {
-	wake   chan poolMsg
-	rounds uint64 // rounds executed by this worker (diagnostics)
-	_      [48]byte
+	wake    chan poolMsg
+	rounds  uint64        // rounds executed by this worker (diagnostics)
+	lastGen atomic.Uint32 // barrier generation of the latest arrival (watchdog)
+	_       [44]byte
 }
 
 // newPool starts `background` parked goroutines; the effective
@@ -93,33 +122,42 @@ func newPool(background int) *pool {
 	}
 	for q := range p.slots {
 		p.slots[q].wake = make(chan poolMsg, 1)
+		// "Never arrived": distinguishable from generation 0 so the
+		// watchdog's missing-worker report is right from the first
+		// barrier on.
+		p.slots[q].lastGen.Store(^uint32(0))
 		go p.worker(q)
 	}
 	return p
 }
 
-// worker is one background goroutine: parked on its wake channel between
-// dispatches, terminated by closing the channel.
+// worker is one background goroutine: parked on its wake channel
+// between dispatches, terminated by closing the channel (or by the
+// aborted flag when a batch barrier was declared stalled).
 func (p *pool) worker(q int) {
 	slot := &p.slots[q]
 	for msg := range slot.wake {
 		switch msg {
 		case msgRun:
 			op := p.op
-			p.runChunk(q+1, op)
+			p.runChunkSafe(q+1, op)
 			slot.rounds++
 			if p.pending.Add(-1) == 0 {
 				p.done <- struct{}{}
 			}
 		case msgBatch:
 			for {
-				p.barrier() // wait for the next op to be published
+				if !p.workerBarrier(q) { // wait for the next op
+					return
+				}
 				op := p.op
 				if !op.end {
-					p.runChunk(q+1, op)
+					p.runChunkSafe(q+1, op)
 					slot.rounds++
 				}
-				p.barrier() // round complete / op consumed
+				if !p.workerBarrier(q) { // round complete / op consumed
+					return
+				}
 				if op.end {
 					break
 				}
@@ -128,8 +166,40 @@ func (p *pool) worker(q int) {
 	}
 }
 
-// runChunk executes chunk `idx` of op (contiguous ⌈n/active⌉ items).
-func (p *pool) runChunk(idx int, op poolOp) {
+// runChunkSafe executes the participant's chunk with panic recovery and
+// fault injection. A recovered panic (from the body or an injected
+// fault) is recorded once per dispatch — first writer wins — and the
+// function returns normally so the round's synchronization drains.
+func (p *pool) runChunkSafe(party int, op poolOp) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.failure.CompareAndSwap(nil, &WorkerPanic{
+				Value:  r,
+				Worker: party,
+				Round:  op.round,
+				Stack:  debug.Stack(),
+			})
+		}
+	}()
+	if f := p.faults; f != nil {
+		if d := f.stall(op.round, party); d > 0 {
+			time.Sleep(d)
+		}
+		if v, ok := f.injected(op.round, party); ok {
+			panic(v)
+		}
+	}
+	p.runChunk(party, op)
+}
+
+// runChunk executes the participant's chunk of op (contiguous
+// ⌈n/active⌉ items); with a fault-plan permutation the participant may
+// be assigned a different chunk index than its own.
+func (p *pool) runChunk(party int, op poolOp) {
+	idx := party
+	if op.perm != nil && party < len(op.perm) {
+		idx = op.perm[party]
+	}
 	if idx >= op.active {
 		return
 	}
@@ -144,14 +214,26 @@ func (p *pool) runChunk(idx int, op poolOp) {
 	}
 }
 
-// run dispatches one round outside a batch: wake the background workers,
-// run the coordinator's chunk, block until the last worker finishes.
-func (p *pool) run(n int, body func(i int)) {
+// publish stores the next round as the current op and advances the
+// dispatch-round counter, deriving the fault-plan permutation when one
+// is installed.
+func (p *pool) publish(n, active int, body func(i int)) {
+	p.op = poolOp{n: n, active: active, body: body, round: p.rounds}
+	if f := p.faults; f != nil && f.PermuteSchedule {
+		p.op.perm = f.perm(p.rounds, active)
+	}
+	p.rounds++
+}
+
+// run dispatches one round outside a batch: wake the background
+// workers, run the coordinator's chunk, block until the last worker
+// finishes. Returns the recorded WorkerPanic if any chunk panicked.
+func (p *pool) run(n int, body func(i int)) error {
 	active := p.background + 1
 	if active > n {
 		active = n
 	}
-	p.op = poolOp{n: n, active: active, body: body}
+	p.publish(n, active, body)
 	woken := active - 1
 	if woken > 0 {
 		p.pending.Store(int32(woken))
@@ -159,11 +241,15 @@ func (p *pool) run(n int, body func(i int)) {
 			p.slots[q].wake <- msgRun
 		}
 	}
-	p.runChunk(0, p.op)
+	p.runChunkSafe(0, p.op)
 	if woken > 0 {
 		<-p.done
 	}
 	p.op.body = nil // do not retain the caller's closure between rounds
+	if rec := p.failure.Load(); rec != nil {
+		return rec
+	}
+	return nil
 }
 
 // beginBatch checks every background worker out into the barrier-driven
@@ -180,36 +266,51 @@ func (p *pool) beginBatch() {
 // the completion barrier. The coordinator stays a barrier participant,
 // so host code between fused rounds runs exactly where a spawn-per-round
 // executor would run it — fusion changes the synchronization cost, never
-// the schedule.
-func (p *pool) runFused(n int, body func(i int)) {
+// the schedule. Returns a WorkerPanic if a chunk panicked, or a
+// BarrierStall if the watchdog declared a barrier stalled.
+func (p *pool) runFused(n int, body func(i int)) error {
 	active := p.background + 1
 	if active > n {
 		active = n
 	}
-	p.op = poolOp{n: n, active: active, body: body}
-	p.barrier() // release: workers read op and run their chunks
-	p.runChunk(0, p.op)
-	p.barrier() // join: all chunks done, op consumable again
+	p.publish(n, active, body)
+	if st := p.coordBarrier(); st != nil { // release: workers read op and run
+		return st
+	}
+	p.runChunkSafe(0, p.op)
+	if st := p.coordBarrier(); st != nil { // join: all chunks done
+		return st
+	}
 	p.op.body = nil
+	if rec := p.failure.Load(); rec != nil {
+		return rec
+	}
+	return nil
 }
 
 // endBatch publishes the termination sentinel and re-parks the workers.
-func (p *pool) endBatch() {
+// A non-nil return means the watchdog gave up waiting for a worker.
+func (p *pool) endBatch() *BarrierStall {
 	p.op = poolOp{end: true}
-	p.barrier()
-	p.barrier()
+	if st := p.coordBarrier(); st != nil {
+		return st
+	}
+	return p.coordBarrier()
 }
 
-// barrier is one sense-reversing rendezvous of all parties. Waiters spin
-// hot briefly (the common case: every participant is already running),
-// then yield, then back off to short sleeps so a long host-code section
-// between fused rounds does not burn CPU.
-func (p *pool) barrier() {
+// workerBarrier is a background worker's sense-reversing rendezvous.
+// Waiters spin hot briefly (the common case: every participant is
+// already running), then yield, then back off to short sleeps so a long
+// host-code section between fused rounds does not burn CPU. Returns
+// false when the pool was aborted, telling the worker to exit its
+// goroutine.
+func (p *pool) workerBarrier(q int) bool {
 	gen := p.gen.Load()
+	p.slots[q].lastGen.Store(gen)
 	if p.arrived.Add(1) == p.parties {
 		p.arrived.Store(0)
 		p.gen.Add(1)
-		return
+		return true
 	}
 	for spins := 0; p.gen.Load() == gen; spins++ {
 		switch {
@@ -218,14 +319,67 @@ func (p *pool) barrier() {
 		case spins < 4096:
 			runtime.Gosched()
 		default:
+			if p.aborted.Load() {
+				return false
+			}
 			time.Sleep(5 * time.Microsecond)
 		}
 	}
+	return true
+}
+
+// coordBarrier is the coordinator's rendezvous, with the optional
+// watchdog: once the wait exceeds the deadline the pool is aborted and
+// a BarrierStall naming the missing workers is returned.
+func (p *pool) coordBarrier() *BarrierStall {
+	gen := p.gen.Load()
+	if p.arrived.Add(1) == p.parties {
+		p.arrived.Store(0)
+		p.gen.Add(1)
+		return nil
+	}
+	var start time.Time
+	for spins := 0; p.gen.Load() == gen; spins++ {
+		switch {
+		case spins < 128:
+			// hot spin
+		case spins < 4096:
+			runtime.Gosched()
+		default:
+			if p.watchdog > 0 {
+				now := time.Now()
+				if start.IsZero() {
+					start = now
+				} else if waited := now.Sub(start); waited >= p.watchdog {
+					p.aborted.Store(true)
+					return &BarrierStall{
+						Round:   p.rounds - 1,
+						Waited:  waited,
+						Missing: p.missing(gen),
+					}
+				}
+			}
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// missing lists the barrier participants (q ≥ 1, background worker ids)
+// that have not arrived at generation gen.
+func (p *pool) missing(gen uint32) []int {
+	var out []int
+	for q := range p.slots {
+		if int32(p.slots[q].lastGen.Load()-gen) < 0 {
+			out = append(out, q+1)
+		}
+	}
+	return out
 }
 
 // close terminates the background workers. Idempotent; only called from
-// the owning Machine (Close or its finalizer), never concurrently with
-// dispatch.
+// the owning Machine (Close, failure teardown, or the finalizer), never
+// concurrently with dispatch.
 func (p *pool) close() {
 	if p.closed {
 		return

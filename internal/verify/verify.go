@@ -1,0 +1,123 @@
+// Package verify contains independent checkers for the outputs of the
+// paper's three result families: maximal matchings, matching partitions
+// and list ranks.
+//
+// The checkers deliberately share no code with the algorithms (or the
+// in-package Verify helpers next to them): each one re-derives the
+// defining property from the array-of-successors list representation
+// alone, so a bug in an algorithm and a mirror-image bug in its
+// neighbouring checker cannot cancel out. MaximalMatching counts node
+// incidences instead of walking neighbour pointers; Partition and Ranks
+// traverse the list directly. They are wired into the executor
+// equivalence suite, the fuzz targets, the harness experiments
+// (matchbench -verify) and cmd/listmatch -verify.
+package verify
+
+import (
+	"fmt"
+
+	"parlist/internal/list"
+)
+
+// MaximalMatching checks that in describes a maximal matching of l's
+// pointers: in[v] selects the pointer ⟨v, suc(v)⟩, no node may be an
+// endpoint of two selected pointers (matching), and no unselected
+// pointer may have both endpoints free (maximality — it could be
+// added). The check is by incidence counting: incidence[u] = number of
+// selected pointers touching node u.
+func MaximalMatching(l *list.List, in []bool) error {
+	n := l.Len()
+	if len(in) != n {
+		return fmt.Errorf("verify: matching length %d, want %d", len(in), n)
+	}
+	incidence := make([]int, n)
+	for v := 0; v < n; v++ {
+		if !in[v] {
+			continue
+		}
+		s := l.Next[v]
+		if s == list.Nil {
+			return fmt.Errorf("verify: node %d selected but has no outgoing pointer", v)
+		}
+		if s < 0 || s >= n {
+			return fmt.Errorf("verify: selected pointer out of %d leads out of range (%d)", v, s)
+		}
+		incidence[v]++
+		incidence[s]++
+	}
+	for u := 0; u < n; u++ {
+		if incidence[u] > 1 {
+			return fmt.Errorf("verify: node %d is an endpoint of %d selected pointers (not a matching)", u, incidence[u])
+		}
+	}
+	for v := 0; v < n; v++ {
+		s := l.Next[v]
+		if s == list.Nil || in[v] || s < 0 || s >= n {
+			continue
+		}
+		if incidence[v] == 0 && incidence[s] == 0 {
+			return fmt.Errorf("verify: pointer ⟨%d,%d⟩ has both endpoints free (not maximal)", v, s)
+		}
+	}
+	return nil
+}
+
+// Partition checks that lab is a matching partition of l's pointers
+// into the label range [0, sets): every node with an outgoing pointer
+// carries a label in range, and successive pointers along the list
+// never share a label — the defining property under which each label
+// class has pairwise-disjoint endpoints and is therefore a matching.
+// Pass sets ≤ 0 to skip the upper range check (labels must still be
+// non-negative).
+func Partition(l *list.List, lab []int, sets int) error {
+	n := l.Len()
+	if len(lab) != n {
+		return fmt.Errorf("verify: label array length %d, want %d", len(lab), n)
+	}
+	for v := 0; v < n; v++ {
+		if l.Next[v] == list.Nil {
+			continue
+		}
+		if lab[v] < 0 || (sets > 0 && lab[v] >= sets) {
+			return fmt.Errorf("verify: pointer label lab[%d] = %d outside [0,%d)", v, lab[v], sets)
+		}
+	}
+	steps := 0
+	for u := l.Head; u != list.Nil; u = l.Next[u] {
+		if steps++; steps > n {
+			return fmt.Errorf("verify: list is cyclic from head %d", l.Head)
+		}
+		v := l.Next[u]
+		if v == list.Nil || l.Next[v] == list.Nil {
+			continue
+		}
+		if lab[u] == lab[v] {
+			return fmt.Errorf("verify: successive pointers out of %d and %d share label %d", u, v, lab[u])
+		}
+	}
+	return nil
+}
+
+// Ranks checks that rank[v] is the distance of node v from the head
+// (head = 0, tail = n-1) by one independent head-to-tail traversal
+// covering all n nodes.
+func Ranks(l *list.List, rank []int) error {
+	n := l.Len()
+	if len(rank) != n {
+		return fmt.Errorf("verify: rank array length %d, want %d", len(rank), n)
+	}
+	seen := 0
+	for v, r := l.Head, 0; v != list.Nil; v, r = l.Next[v], r+1 {
+		if r >= n {
+			return fmt.Errorf("verify: list is cyclic from head %d", l.Head)
+		}
+		if rank[v] != r {
+			return fmt.Errorf("verify: rank[%d] = %d, want %d", v, rank[v], r)
+		}
+		seen++
+	}
+	if seen != n {
+		return fmt.Errorf("verify: only %d of %d nodes reachable from head", seen, n)
+	}
+	return nil
+}

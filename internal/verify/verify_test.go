@@ -1,0 +1,153 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/pram"
+	"parlist/internal/verify"
+)
+
+// chain builds the list 0 → 1 → ... → n-1.
+func chain(n int) *list.List { return list.SequentialList(n) }
+
+func TestMaximalMatchingAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		l    *list.List
+		in   []bool
+	}{
+		{"singleton", chain(1), []bool{false}},
+		{"one-pointer", chain(2), []bool{true, false}},
+		{"alternating", chain(5), []bool{true, false, true, false, false}},
+		{"gap-of-two", chain(6), []bool{true, false, false, true, false, false}},
+	}
+	for _, c := range cases {
+		if err := verify.MaximalMatching(c.l, c.in); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestMaximalMatchingRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		l    *list.List
+		in   []bool
+		want string
+	}{
+		{"wrong-length", chain(3), []bool{true}, "length"},
+		{"tail-selected", chain(2), []bool{true, true}, "no outgoing pointer"},
+		{"adjacent-selected", chain(3), []bool{true, true, false}, "not a matching"},
+		{"empty-not-maximal", chain(2), []bool{false, false}, "not maximal"},
+		{"hole-not-maximal", chain(7), []bool{true, false, false, false, false, true, false}, "not maximal"},
+	}
+	for _, c := range cases {
+		err := verify.MaximalMatching(c.l, c.in)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestPartitionAcceptsAndRejects(t *testing.T) {
+	l := chain(5) // pointers out of 0,1,2,3
+	if err := verify.Partition(l, []int{0, 1, 0, 1, 99}, 2); err != nil {
+		t.Errorf("valid alternating labels rejected: %v", err)
+	}
+	// The tail's entry is ignored even when out of range.
+	if err := verify.Partition(l, []int{1, 0, 1, 0, -5}, 2); err != nil {
+		t.Errorf("tail label should be ignored: %v", err)
+	}
+	if err := verify.Partition(l, []int{0, 0, 1, 0, 0}, 2); err == nil {
+		t.Error("successive equal labels accepted")
+	} else if !strings.Contains(err.Error(), "share label") {
+		t.Errorf("wrong error: %v", err)
+	}
+	if err := verify.Partition(l, []int{0, 3, 0, 1, 0}, 2); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if err := verify.Partition(l, []int{0, -1, 0, 1, 0}, 0); err == nil {
+		t.Error("negative label accepted with sets=0")
+	}
+	if err := verify.Partition(l, []int{0, 1}, 2); err == nil {
+		t.Error("wrong length accepted")
+	}
+	// sets ≤ 0 skips only the upper range check.
+	if err := verify.Partition(l, []int{7, 3, 7, 3, 0}, 0); err != nil {
+		t.Errorf("range check not skipped with sets=0: %v", err)
+	}
+}
+
+func TestRanksAcceptsAndRejects(t *testing.T) {
+	for _, l := range []*list.List{chain(1), chain(6), list.RandomList(50, 3), list.ZigZagList(9)} {
+		if err := verify.Ranks(l, l.Position()); err != nil {
+			t.Errorf("true positions rejected: %v", err)
+		}
+	}
+	l := list.RandomList(10, 1)
+	rk := l.Position()
+	rk[l.Head] = 5
+	if err := verify.Ranks(l, rk); err == nil {
+		t.Error("wrong head rank accepted")
+	}
+	rk = l.Position()
+	rk[l.Next[l.Head]]++
+	if err := verify.Ranks(l, rk); err == nil {
+		t.Error("off-by-one rank accepted")
+	}
+	if err := verify.Ranks(l, []int{0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+// TestAgainstAlgorithms cross-checks the independent checkers against
+// real algorithm outputs on a spread of list shapes.
+func TestAgainstAlgorithms(t *testing.T) {
+	for _, g := range list.Generators() {
+		l := g.Make(3000, 11)
+		m := pram.New(32)
+		r, err := matching.Match4(m, l, nil, matching.Match4Config{I: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := verify.MaximalMatching(l, r.In); err != nil {
+			t.Errorf("%s: independent checker rejects Match4 output: %v", g.Name, err)
+		}
+		if err := verify.Ranks(l, l.Position()); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+// FuzzMatchingCheckersAgree fuzzes candidate matchings and asserts the
+// independent incidence-counting checker and the algorithm-side
+// neighbour-walking checker accept exactly the same candidates.
+func FuzzMatchingCheckersAgree(f *testing.F) {
+	f.Add(int64(1), uint16(10), []byte{0x55})
+	f.Add(int64(2), uint16(2), []byte{0x01})
+	f.Add(int64(3), uint16(100), []byte{})
+	f.Add(int64(4), uint16(33), []byte{0xff, 0x00, 0x81})
+	f.Fuzz(func(t *testing.T, seed int64, nn uint16, raw []byte) {
+		n := int(nn)%2000 + 1
+		l := list.RandomList(n, seed)
+		in := make([]bool, n)
+		for v := range in {
+			if len(raw) > 0 {
+				in[v] = raw[v%len(raw)]>>(uint(v)%8)&1 == 1
+			}
+		}
+		indep := verify.MaximalMatching(l, in)
+		ref := matching.Verify(l, in)
+		if (indep == nil) != (ref == nil) {
+			t.Fatalf("checkers disagree on n=%d seed=%d:\n  independent: %v\n  reference:   %v\n  in=%v",
+				n, seed, indep, ref, in)
+		}
+	})
+}
