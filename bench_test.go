@@ -8,11 +8,13 @@
 package parlist
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"parlist/internal/bits"
 	"parlist/internal/color"
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
 	"parlist/internal/partition"
@@ -487,6 +489,49 @@ func benchAlgo(b *testing.B, run func(m *pram.Machine, l *list.List) (*matching.
 			}
 			b.ReportMetric(float64(st.Time), "pram-steps")
 			b.ReportMetric(st.Efficiency(int64(n)), "efficiency")
+		})
+	}
+}
+
+// E-engine — the session layer: steady-state cost of a warm engine at
+// fixed n. The "result=reused" rows are the headline number for the
+// zero-alloc request path (RunInto with a recycled Result must report
+// 0 allocs/op from the second request on); the "result=fresh" rows show
+// what the one-line public façade costs on top (Result + output copy).
+func BenchmarkEngineReuse(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{1 << 12, 1 << 16} {
+		l := RandomList(n, benchSeed)
+		b.Run(fmt.Sprintf("n=%d/result=reused", n), func(b *testing.B) {
+			eng := engine.New(engine.Config{Processors: 512})
+			defer eng.Close()
+			req := engine.Request{List: l}
+			var res engine.Result
+			if err := eng.RunInto(ctx, req, &res); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.RunInto(ctx, req, &res); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Stats.Time), "pram-steps")
+		})
+		b.Run(fmt.Sprintf("n=%d/result=fresh", n), func(b *testing.B) {
+			eng := NewEngine(EngineConfig{Processors: 512})
+			defer eng.Close()
+			if _, err := eng.MaximalMatching(l, Options{}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.MaximalMatching(l, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -16,10 +16,21 @@
 // pure cost of waking real workers for one synchronous round (on few-core
 // hosts raw wall-clock is dominated by the shared body loop, so the
 // overhead delta is the executor-sensitive number to track).
+//
+// The engine-reuse entries measure the session layer at fixed n: the
+// "result=reused" row is the zero-alloc request path (one warm engine,
+// outputs recycled — allocs/op must stay 0), the "result=fresh" row is
+// the public façade on the same engine, and the "machine=cold" row is
+// the old one-machine-per-call pattern for contrast. These rows also
+// report requests/sec.
+//
+// Exit status: 0 on success, 1 on a runtime failure, 2 on a usage error.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +38,7 @@ import (
 	"testing"
 	"time"
 
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
 	"parlist/internal/pram"
@@ -46,6 +58,7 @@ type Entry struct {
 	Work             int64   `json:"work,omitempty"`
 	Efficiency       float64 `json:"efficiency,omitempty"`
 	DispatchOverhead float64 `json:"dispatch_overhead_ns,omitempty"`
+	RequestsPerSec   float64 `json:"requests_per_sec,omitempty"`
 }
 
 // Report is the emitted document.
@@ -60,7 +73,13 @@ type Report struct {
 
 const seed = 1
 
-func measure(name string, n, p int, fn func() pram.Stats) Entry {
+// usageError marks failures caused by bad invocation rather than by the
+// computation; they exit with status 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func measure(out *os.File, name string, n, p int, fn func() pram.Stats) Entry {
 	var st pram.Stats
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -82,22 +101,36 @@ func measure(name string, n, p int, fn func() pram.Stats) Entry {
 	if st.Time > 0 {
 		e.Efficiency = st.Efficiency(int64(n))
 	}
-	fmt.Printf("%-40s %12.0f ns/op %8d allocs/op", name, e.NsPerOp, e.AllocsPerOp)
+	fmt.Fprintf(out, "%-40s %12.0f ns/op %8d allocs/op", name, e.NsPerOp, e.AllocsPerOp)
 	if st.Time > 0 {
-		fmt.Printf(" %12d pram-steps", st.Time)
+		fmt.Fprintf(out, " %12d pram-steps", st.Time)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 	return e
 }
 
 func main() {
-	out := flag.String("out", "", "output path (default BENCH_<date>.json)")
-	quick := flag.Bool("quick", false, "small inputs for a fast smoke run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
 
-	nMatch, nRank, nWall := 1<<18, 1<<16, 1<<20
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output path (default BENCH_<date>.json)")
+	quick := fs.Bool("quick", false, "small inputs for a fast smoke run")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+
+	nMatch, nRank, nWall, nEng := 1<<18, 1<<16, 1<<20, 1<<16
 	if *quick {
-		nMatch, nRank, nWall = 1<<14, 1<<12, 1<<16
+		nMatch, nRank, nWall, nEng = 1<<14, 1<<12, 1<<16, 1<<12
 	}
 
 	rep := Report{
@@ -123,33 +156,94 @@ func main() {
 			return matching.Match4(m, lm, nil, matching.Match4Config{I: 3})
 		}},
 	}
+	var runErr error
 	for _, a := range algos {
-		rep.Benches = append(rep.Benches, measure(a.name, nMatch, 256, func() pram.Stats {
+		rep.Benches = append(rep.Benches, measure(stdout, a.name, nMatch, 256, func() pram.Stats {
 			m := pram.New(256)
 			r, err := a.run(m)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", a.name, err)
-				os.Exit(1)
+				runErr = fmt.Errorf("%s: %w", a.name, err)
+				return pram.Stats{}
 			}
 			return r.Stats
 		}))
+		if runErr != nil {
+			return runErr
+		}
 	}
 
 	// List ranking.
 	lr := list.RandomList(nRank, seed)
-	rep.Benches = append(rep.Benches, measure("rank/contraction", nRank, 256, func() pram.Stats {
+	rep.Benches = append(rep.Benches, measure(stdout, "rank/contraction", nRank, 256, func() pram.Stats {
 		m := pram.New(256)
 		if _, _, err := rank.Rank(m, lr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: rank: %v\n", err)
-			os.Exit(1)
+			runErr = fmt.Errorf("rank: %w", err)
 		}
 		return m.Snapshot()
 	}))
-	rep.Benches = append(rep.Benches, measure("rank/wyllie", nRank, 256, func() pram.Stats {
+	if runErr != nil {
+		return runErr
+	}
+	rep.Benches = append(rep.Benches, measure(stdout, "rank/wyllie", nRank, 256, func() pram.Stats {
 		m := pram.New(256)
 		rank.WyllieRank(m, lr)
 		return m.Snapshot()
 	}))
+
+	// Engine reuse: the session layer at fixed n. The reused row is the
+	// headline — one warm engine, recycled Result, 0 allocs/op steady
+	// state. The cold row rebuilds a machine per request (the pre-engine
+	// pattern) so the arena + pool payoff is visible in the same report.
+	le := list.RandomList(nEng, seed)
+	ctx := context.Background()
+	{
+		eng := engine.New(engine.Config{Processors: 512})
+		req := engine.Request{List: le}
+		var res engine.Result
+		if err := eng.RunInto(ctx, req, &res); err != nil {
+			eng.Close()
+			return fmt.Errorf("engine warm-up: %w", err)
+		}
+		e := measure(stdout, "engine-reuse/result=reused", nEng, 512, func() pram.Stats {
+			if err := eng.RunInto(ctx, req, &res); err != nil {
+				runErr = fmt.Errorf("engine-reuse: %w", err)
+			}
+			return res.Stats
+		})
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		rep.Benches = append(rep.Benches, e)
+
+		e = measure(stdout, "engine-reuse/result=fresh", nEng, 512, func() pram.Stats {
+			r, err := eng.Run(ctx, req)
+			if err != nil {
+				runErr = fmt.Errorf("engine-reuse: %w", err)
+				return pram.Stats{}
+			}
+			return r.Stats
+		})
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		rep.Benches = append(rep.Benches, e)
+		eng.Close()
+		if runErr != nil {
+			return runErr
+		}
+	}
+	{
+		e := measure(stdout, "engine-reuse/machine=cold", nEng, 512, func() pram.Stats {
+			m := pram.New(512)
+			r, err := matching.Match4(m, le, nil, matching.Match4Config{I: 3})
+			if err != nil {
+				runErr = fmt.Errorf("cold match4: %w", err)
+				return pram.Stats{}
+			}
+			return r.Stats
+		})
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		rep.Benches = append(rep.Benches, e)
+		if runErr != nil {
+			return runErr
+		}
+	}
 
 	// Executor dispatch overhead: an empty round, machine reused across
 	// iterations (steady state), workers pinned to 4 so the parallel
@@ -161,7 +255,7 @@ func main() {
 	for _, exec := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled} {
 		for _, p := range []int{4, 64, 1024} {
 			m := pram.New(p, pram.WithExec(exec), pram.WithWorkers(4))
-			e := measure(fmt.Sprintf("executor-overhead/%s/p=%d", exec, p), nOver, p, func() pram.Stats {
+			e := measure(stdout, fmt.Sprintf("executor-overhead/%s/p=%d", exec, p), nOver, p, func() pram.Stats {
 				m.ParFor(nOver, func(int) {})
 				return pram.Stats{}
 			})
@@ -178,16 +272,19 @@ func main() {
 	// End-to-end wall clock: Match4 under each executor.
 	lw := list.RandomList(nWall, seed)
 	for _, exec := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled} {
-		rep.Benches = append(rep.Benches, measure(fmt.Sprintf("wallclock-match4/%s", exec), nWall, 1024, func() pram.Stats {
+		rep.Benches = append(rep.Benches, measure(stdout, fmt.Sprintf("wallclock-match4/%s", exec), nWall, 1024, func() pram.Stats {
 			m := pram.New(1024, pram.WithExec(exec))
 			defer m.Close()
 			r, err := matching.Match4(m, lw, nil, matching.Match4Config{I: 3})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchjson: wallclock: %v\n", err)
-				os.Exit(1)
+				runErr = fmt.Errorf("wallclock: %w", err)
+				return pram.Stats{}
 			}
 			return r.Stats
 		}))
+		if runErr != nil {
+			return runErr
+		}
 	}
 
 	path := *out
@@ -196,13 +293,12 @@ func main() {
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("wrote %s (%d benches)\n", path, len(rep.Benches))
+	fmt.Fprintf(stdout, "wrote %s (%d benches)\n", path, len(rep.Benches))
+	return nil
 }

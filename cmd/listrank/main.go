@@ -1,59 +1,104 @@
-// Command listrank ranks a linked list with Wyllie pointer jumping and
-// with matching-based contraction, comparing the two.
+// Command listrank ranks a linked list with all four ranking schemes —
+// Wyllie pointer jumping, matching-based contraction, the load-balanced
+// queue scheme and randomized contraction — and compares their PRAM
+// costs. All four runs share one engine, so the simulated machine, its
+// worker pool and the scratch arena are reused across schemes.
 //
 // Usage:
 //
 //	listrank -n 65536 -p 512
+//	listrank -n 1048576 -p 4096 -exec pooled
+//
+// Exit status: 0 on success, 1 on a runtime or verification failure,
+// 2 on a usage error (bad flag value, unknown executor).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
+	"parlist/internal/core"
 	"parlist/internal/list"
 	"parlist/internal/pram"
-	"parlist/internal/rank"
 )
 
+// usageError marks failures caused by bad invocation rather than by the
+// computation; they exit with status 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
-	n := flag.Int("n", 1<<16, "list size")
-	p := flag.Int("p", 256, "simulated PRAM processors")
-	seed := flag.Int64("seed", 1, "generator seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "listrank: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("listrank", flag.ContinueOnError)
+	n := fs.Int("n", 1<<16, "list size")
+	p := fs.Int("p", 256, "simulated PRAM processors")
+	seed := fs.Int64("seed", 1, "generator seed")
+	execFlag := fs.String("exec", "sequential", "executor: sequential|goroutines|pooled")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *n < 1 {
+		return usagef("-n must be >= 1 (got %d)", *n)
+	}
+	if *p < 1 {
+		return usagef("-p must be >= 1 (got %d)", *p)
+	}
+	var exec pram.Exec
+	switch *execFlag {
+	case "sequential":
+		exec = pram.Sequential
+	case "goroutines":
+		exec = pram.Goroutines
+	case "pooled":
+		exec = pram.Pooled
+	default:
+		return usagef("unknown executor %q", *execFlag)
+	}
 
 	l := list.RandomList(*n, *seed)
 	pos := l.Position()
 
-	mw := pram.New(*p)
-	wy := rank.WyllieRank(mw, l)
-	mc := pram.New(*p)
-	ct, st, err := rank.Rank(mc, l, nil)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "listrank: %v\n", err)
-		os.Exit(1)
+	eng := core.NewEngine(core.EngineConfig{Processors: *p, Exec: exec})
+	defer eng.Close()
+
+	schemes := []core.RankScheme{
+		core.RankWyllie, core.RankContraction,
+		core.RankLoadBalanced, core.RankRandomMate,
 	}
-	mlb := pram.New(*p)
-	lb, lbst, err := rank.LoadBalancedRank(mlb, l)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "listrank: %v\n", err)
-		os.Exit(1)
-	}
-	mr := pram.New(*p)
-	rm, rmRounds := rank.RandomMateRank(mr, l, *seed)
-	for v := range pos {
-		if wy[v] != pos[v] || ct[v] != pos[v] || lb[v] != pos[v] || rm[v] != pos[v] {
-			fmt.Fprintf(os.Stderr, "listrank: rank mismatch at node %d\n", v)
-			os.Exit(1)
+	fmt.Fprintf(out, "n = %d, p = %d\n", *n, *p)
+	for _, scheme := range schemes {
+		rk, st, err := eng.Rank(l, core.Options{Rank: scheme, Seed: *seed})
+		if err != nil {
+			return fmt.Errorf("%s: %w", scheme, err)
 		}
+		for v := range pos {
+			if rk[v] != pos[v] {
+				return fmt.Errorf("%s: rank mismatch at node %d: got %d, want %d",
+					scheme, v, rk[v], pos[v])
+			}
+		}
+		fmt.Fprintf(out, "%-13s time %-10d work %d\n", scheme, st.Time, st.Work)
 	}
-	fmt.Printf("n = %d, p = %d\n", *n, *p)
-	fmt.Printf("wyllie        time %-10d work %d\n", mw.Time(), mw.Work())
-	fmt.Printf("contraction   time %-10d work %d (rounds %d, min shrink %.3f, spliced %d)\n",
-		mc.Time(), mc.Work(), st.Rounds, st.MinShrink, st.TotalSpliced)
-	fmt.Printf("load-balanced time %-10d work %d (rounds %d, max chain %d)\n",
-		mlb.Time(), mlb.Work(), lbst.Rounds, lbst.MaxChain)
-	fmt.Printf("random-mate   time %-10d work %d (rounds %d)\n",
-		mr.Time(), mr.Work(), rmRounds)
-	fmt.Println("all four rankings verified against list positions")
+	es := eng.Stats()
+	fmt.Fprintf(out, "all four rankings verified against list positions\n")
+	fmt.Fprintf(out, "engine: %d requests on one machine, arena %d/%d buffer hits\n",
+		es.Requests, es.Arena.Hits, es.Arena.Gets)
+	return nil
 }

@@ -7,9 +7,13 @@
 //	matchbench               # run every experiment at full scale
 //	matchbench -exp E7       # one experiment
 //	matchbench -quick        # shrunken sweeps
+//
+// Exit status: 0 on success, 1 on a runtime failure, 2 on a usage
+// error (unknown flag or experiment ID).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,12 +22,36 @@ import (
 	"parlist/internal/harness"
 )
 
+// usageError marks failures caused by bad invocation rather than by the
+// computation; they exit with status 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment ID to run (e.g. E7); empty = all")
-	quick := flag.Bool("quick", false, "shrink the sweeps")
-	seed := flag.Int64("seed", 1, "list-generation seed")
-	check := flag.Bool("verify", false, "re-check experiment outputs with the independent verifiers")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "matchbench: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("matchbench", flag.ContinueOnError)
+	exp := fs.String("exp", "", "experiment ID to run (e.g. E7); empty = all")
+	quick := fs.Bool("quick", false, "shrink the sweeps")
+	seed := fs.Int64("seed", 1, "list-generation seed")
+	check := fs.Bool("verify", false, "re-check experiment outputs with the independent verifiers")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed, Verify: *check}
 	var suite []harness.Experiment
@@ -33,21 +61,20 @@ func main() {
 		for _, id := range strings.Split(*exp, ",") {
 			e, ok := harness.ByID(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "matchbench: unknown experiment %q\n", id)
-				os.Exit(2)
+				return usagef("unknown experiment %q", id)
 			}
 			suite = append(suite, e)
 		}
 	}
 	for _, e := range suite {
-		fmt.Printf("### %s: %s\n\n", e.ID, e.Title)
+		fmt.Fprintf(out, "### %s: %s\n\n", e.ID, e.Title)
 		tables, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "matchbench: %s failed: %v\n", e.ID, err)
-			os.Exit(1)
+			return fmt.Errorf("%s failed: %w", e.ID, err)
 		}
 		for _, t := range tables {
-			fmt.Println(t.String())
+			fmt.Fprintln(out, t.String())
 		}
 	}
+	return nil
 }

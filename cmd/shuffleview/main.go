@@ -8,9 +8,13 @@
 //
 //	shuffleview -u 8 -k 2
 //	shuffleview -u 4 -k 3 -verts
+//
+// Exit status: 0 on success, 1 on a runtime failure (e.g. an invalid
+// fold colouring), 2 on a usage error (bad flag value or graph shape).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,34 +23,52 @@ import (
 	"parlist/internal/shuffle"
 )
 
+// usageError marks failures caused by bad invocation rather than by the
+// computation; they exit with status 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
 func main() {
-	u := flag.Int("u", 8, "universe size (labels in [0,u))")
-	k := flag.Int("k", 2, "tuple length")
-	budget := flag.Int("budget", 1<<22, "branch-and-bound node budget for the exact chromatic number")
-	verts := flag.Bool("verts", false, "list the vertices with their fold colours")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "shuffleview: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("shuffleview", flag.ContinueOnError)
+	u := fs.Int("u", 8, "universe size (labels in [0,u))")
+	k := fs.Int("k", 2, "tuple length")
+	budget := fs.Int("budget", 1<<22, "branch-and-bound node budget for the exact chromatic number")
+	verts := fs.Bool("verts", false, "list the vertices with their fold colours")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
 
 	g, err := shuffle.New(*u, *k)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "shuffleview: %v\n", err)
-		os.Exit(2)
+		return usageError{err}
 	}
 	e := partition.NewEvaluator(partition.MSB, 12)
 	fcol, fcnt := g.ColoringFromEvaluator(e)
 	if _, err := g.VerifyColoring(fcol); err != nil {
-		fmt.Fprintf(os.Stderr, "shuffleview: fold colouring invalid: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("fold colouring invalid: %w", err)
 	}
 	_, gcnt := g.GreedyColoring()
 	chi, exact := g.ChromaticNumber(*budget)
 
-	fmt.Printf("shuffle graph over adjacent-distinct %d-tuples on [0,%d)\n", *k, *u)
-	fmt.Printf("  vertices              %d\n", g.Vertices())
-	fmt.Printf("  edges                 %d\n", g.Edges())
-	fmt.Printf("  f^(k) fold colouring  %d colours (Lemma 2 bound %d)\n", fcnt, shuffle.FoldUpperBound(*u, *k))
-	fmt.Printf("  DSATUR colouring      %d colours\n", gcnt)
+	fmt.Fprintf(out, "shuffle graph over adjacent-distinct %d-tuples on [0,%d)\n", *k, *u)
+	fmt.Fprintf(out, "  vertices              %d\n", g.Vertices())
+	fmt.Fprintf(out, "  edges                 %d\n", g.Edges())
+	fmt.Fprintf(out, "  f^(k) fold colouring  %d colours (Lemma 2 bound %d)\n", fcnt, shuffle.FoldUpperBound(*u, *k))
+	fmt.Fprintf(out, "  DSATUR colouring      %d colours\n", gcnt)
 	if exact {
-		fmt.Printf("  chromatic number      %d (exact)\n", chi)
+		fmt.Fprintf(out, "  chromatic number      %d (exact)\n", chi)
 	} else {
 		best := chi
 		if fcnt < best {
@@ -55,14 +77,15 @@ func main() {
 		if gcnt < best {
 			best = gcnt
 		}
-		fmt.Printf("  chromatic number      ≤ %d (budget exhausted)\n", best)
+		fmt.Fprintf(out, "  chromatic number      ≤ %d (budget exhausted)\n", best)
 	}
-	fmt.Printf("  lower bound [8,10]    %d (log^(k-1) u)\n", shuffle.LowerBound(*u, *k))
+	fmt.Fprintf(out, "  lower bound [8,10]    %d (log^(k-1) u)\n", shuffle.LowerBound(*u, *k))
 
 	if *verts {
-		fmt.Println("\nvertices (tuple → fold colour):")
+		fmt.Fprintln(out, "\nvertices (tuple → fold colour):")
 		for vi := 0; vi < g.Vertices(); vi++ {
-			fmt.Printf("  %v → %d\n", g.TupleOf(vi), fcol[vi])
+			fmt.Fprintf(out, "  %v → %d\n", g.TupleOf(vi), fcol[vi])
 		}
 	}
+	return nil
 }

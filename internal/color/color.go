@@ -12,6 +12,7 @@ import (
 	"parlist/internal/matching"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
+	"parlist/internal/ws"
 )
 
 // constantRange mirrors matching's fixed point for iterated f.
@@ -84,7 +85,7 @@ func VerifyColoring(l *list.List, col []int, maxColors int) error {
 // O(n/p) time given a C-colouring (C rounds of ⌈n/p⌉).
 func MISFromColoring(m *pram.Machine, l *list.List, col []int, colors int) []bool {
 	n := l.Len()
-	in := make([]bool, n)
+	in := ws.Bools(m.Workspace(), n)
 	pred := predOf(m, l)
 	for c := 0; c < colors; c++ {
 		cc := c
@@ -112,7 +113,7 @@ func MISFromColoring(m *pram.Machine, l *list.List, col []int, colors int) []boo
 // unmatched pointers would otherwise exist). One extra round: O(n/p).
 func MISFromMatching(m *pram.Machine, l *list.List, matched []bool) []bool {
 	n := l.Len()
-	in := make([]bool, n)
+	in := ws.Bools(m.Workspace(), n)
 	pred := predOf(m, l)
 	m.ParFor(n, func(v int) { in[v] = matched[v] })
 	m.ParFor(n, func(v int) {
@@ -175,7 +176,7 @@ func widthOf(n int) int {
 
 func predOf(m *pram.Machine, l *list.List) []int {
 	n := l.Len()
-	pred := make([]int, n)
+	pred := ws.IntsNoZero(m.Workspace(), n) // first round writes every cell
 	m.ParFor(n, func(v int) { pred[v] = list.Nil })
 	m.ParFor(n, func(v int) {
 		if s := l.Next[v]; s != list.Nil {

@@ -9,37 +9,72 @@
 //
 // selects Match4 (the paper's optimal algorithm) with i = 3 and reports
 // the matching plus the simulated PRAM accounting.
+//
+// Every package-level function is a thin wrapper over a lazily created
+// process-wide engine (one per executor), so repeated calls reuse a
+// warm machine and workspace; callers that want explicit control over
+// that lifetime — or a private machine — use NewEngine directly.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
-	"parlist/internal/color"
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
-	"parlist/internal/rank"
 )
 
 // Algorithm names a maximal-matching algorithm.
-type Algorithm string
+type Algorithm = engine.Algorithm
 
 // The available algorithms.
 const (
-	AlgoMatch1     Algorithm = "match1"     // iterated coin tossing, O(nG(n)/p + G(n))
-	AlgoMatch2     Algorithm = "match2"     // sort-based optimal EREW, O(n/p + log n)
-	AlgoMatch3     Algorithm = "match3"     // table lookup, O(n·logG(n)/p + logG(n))
-	AlgoMatch4     Algorithm = "match4"     // §3 scheduling, O(n·log i/p + log^(i) n + log i)
-	AlgoSequential Algorithm = "sequential" // greedy walk baseline, O(n)
-	AlgoRandomized Algorithm = "randomized" // random coin tossing baseline
+	AlgoMatch1     = engine.AlgoMatch1     // iterated coin tossing, O(nG(n)/p + G(n))
+	AlgoMatch2     = engine.AlgoMatch2     // sort-based optimal EREW, O(n/p + log n)
+	AlgoMatch3     = engine.AlgoMatch3     // table lookup, O(n·logG(n)/p + logG(n))
+	AlgoMatch4     = engine.AlgoMatch4     // §3 scheduling, O(n·log i/p + log^(i) n + log i)
+	AlgoSequential = engine.AlgoSequential // greedy walk baseline, O(n)
+	AlgoRandomized = engine.AlgoRandomized // random coin tossing baseline
+)
+
+// RankScheme names a list-ranking algorithm.
+type RankScheme = engine.RankScheme
+
+// The available ranking schemes.
+const (
+	// RankContraction splices via per-round maximal matchings (default).
+	RankContraction = engine.RankContraction
+	// RankWyllie is pointer jumping, Θ(n log n) work.
+	RankWyllie = engine.RankWyllie
+	// RankLoadBalanced is the Anderson–Miller-style queue scheme.
+	RankLoadBalanced = engine.RankLoadBalanced
+	// RankRandomMate is randomized contraction.
+	RankRandomMate = engine.RankRandomMate
+)
+
+// Typed validation errors, tested with errors.Is. Returned (wrapped)
+// instead of panics for malformed Options and inputs.
+var (
+	// ErrNilList reports a nil input list.
+	ErrNilList = engine.ErrNilList
+	// ErrBadProcessors reports a negative Options.Processors.
+	ErrBadProcessors = engine.ErrBadProcessors
+	// ErrUnknownAlgorithm reports an Options.Algorithm outside the set.
+	ErrUnknownAlgorithm = engine.ErrUnknownAlgorithm
+	// ErrUnknownRankScheme reports an Options.Rank outside the set.
+	ErrUnknownRankScheme = engine.ErrUnknownRankScheme
 )
 
 // Options configures a run.
 type Options struct {
 	// Algorithm defaults to AlgoMatch4.
 	Algorithm Algorithm
-	// Processors is the simulated PRAM processor count (default 1).
+	// Processors is the simulated PRAM processor count (default 1;
+	// negative values are rejected with ErrBadProcessors).
 	Processors int
 	// I is Match4's adjustable parameter (default 3).
 	I int
@@ -53,33 +88,62 @@ type Options struct {
 	// Seed feeds the randomized baseline.
 	Seed int64
 	// Tracer, when non-nil, records a round-level execution log
-	// renderable with Tracer.Summary and Tracer.Gantt.
+	// renderable with Tracer.Summary and Tracer.Gantt. Traced runs get
+	// a dedicated machine (traces never interleave across callers).
 	Tracer *pram.Tracer
 	// Rank selects the list-ranking scheme (default RankContraction).
 	Rank RankScheme
 }
 
-func (o Options) machine() *pram.Machine {
-	p := o.Processors
-	if p < 1 {
-		p = 1
+// request translates the per-call options into an engine request.
+func (o Options) request(op engine.Op, l *list.List) engine.Request {
+	return engine.Request{
+		Op:         op,
+		List:       l,
+		Processors: o.Processors,
+		Algorithm:  o.Algorithm,
+		I:          o.I,
+		UseTable:   o.UseTable,
+		Variant:    o.Variant,
+		Seed:       o.Seed,
+		Rank:       o.Rank,
 	}
-	opts := []pram.Option{pram.WithExec(o.Exec)}
-	if o.Tracer != nil {
-		opts = append(opts, pram.WithTracer(o.Tracer))
-	}
-	return pram.New(p, opts...)
 }
 
-func (o Options) evaluator(n int) *partition.Evaluator {
-	w := 1
-	for v := 2; v < n; v *= 2 {
-		w++
+// The process-wide default engines, one per executor, created lazily.
+// All package-level calls share them (requests serialize per engine);
+// the simulated processor count still varies freely per call.
+var (
+	defaultMu      sync.Mutex
+	defaultEngines = map[pram.Exec]*engine.Engine{}
+)
+
+// engineFor returns the engine serving o plus a release func. Traced
+// runs get a private one-shot engine; everything else shares the
+// per-executor default.
+func (o Options) engineFor() (*engine.Engine, func()) {
+	if o.Tracer != nil {
+		e := engine.New(engine.Config{Exec: o.Exec, Tracer: o.Tracer})
+		return e, func() { e.Close() }
 	}
-	if w < 2 {
-		w = 2
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	e := defaultEngines[o.Exec]
+	if e == nil {
+		e = engine.New(engine.Config{Exec: o.Exec})
+		defaultEngines[o.Exec] = e
 	}
-	return partition.NewEvaluator(o.Variant, w)
+	return e, func() {}
+}
+
+func (o Options) run(req engine.Request) (*engine.Result, error) {
+	eng, release := o.engineFor()
+	defer release()
+	res, err := eng.Run(context.Background(), req)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return res, nil
 }
 
 // Result is a computed maximal matching plus accounting.
@@ -95,161 +159,85 @@ type Result struct {
 	Detail *matching.Result
 }
 
+// matchResult rebuilds the façade result (Detail included) from an
+// engine result.
+func matchResult(r *engine.Result) *Result {
+	return &Result{
+		In:    r.In,
+		Size:  r.Size,
+		Stats: r.Stats,
+		Detail: &matching.Result{
+			Algorithm: r.Algorithm,
+			In:        r.In,
+			Size:      r.Size,
+			Sets:      r.Sets,
+			Rounds:    r.Rounds,
+			TableSize: r.TableSize,
+			Stats:     r.Stats,
+		},
+	}
+}
+
 // MaximalMatching computes a maximal matching of l's pointers.
 func MaximalMatching(l *list.List, o Options) (*Result, error) {
-	if err := l.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	m := o.machine()
-	defer m.Close()
-	e := o.evaluator(l.Len())
-	algo := o.Algorithm
-	if algo == "" {
-		algo = AlgoMatch4
-	}
-	i := o.I
-	if i < 1 {
-		i = 3
-	}
-	var (
-		r   *matching.Result
-		err error
-	)
-	switch algo {
-	case AlgoMatch1:
-		r = matching.Match1(m, l, e)
-	case AlgoMatch2:
-		r = matching.Match2(m, l, e)
-	case AlgoMatch3:
-		r, err = matching.Match3(m, l, e, matching.Match3Config{})
-	case AlgoMatch4:
-		r, err = matching.Match4(m, l, e, matching.Match4Config{I: i, UseTable: o.UseTable})
-	case AlgoSequential:
-		in := matching.Sequential(l)
-		m.Charge(int64(l.Len()), int64(l.Len()))
-		r = &matching.Result{Algorithm: "sequential", In: in, Size: matching.Count(in), Stats: m.Snapshot()}
-	case AlgoRandomized:
-		in, rounds := matching.Randomized(m, l, o.Seed)
-		r = &matching.Result{Algorithm: "randomized", In: in, Size: matching.Count(in), Rounds: rounds, Stats: m.Snapshot()}
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
-	}
+	r, err := o.run(o.request(engine.OpMatching, l))
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	return &Result{In: r.In, Size: r.Size, Stats: r.Stats, Detail: r}, nil
+	return matchResult(r), nil
 }
 
 // Partition computes a matching partition of the pointers into
 // O(log^(i) n) sets via i applications of the matching partition
 // function, returning labels and the label-range size.
 func Partition(l *list.List, i int, o Options) ([]int, int, error) {
-	if err := l.Validate(); err != nil {
-		return nil, 0, fmt.Errorf("core: %w", err)
+	req := o.request(engine.OpPartition, l)
+	req.Iters = i
+	r, err := o.run(req)
+	if err != nil {
+		return nil, 0, err
 	}
-	if i < 1 {
-		return nil, 0, fmt.Errorf("core: partition parameter i=%d < 1", i)
-	}
-	m := o.machine()
-	defer m.Close()
-	lab, rng := matching.PartitionIterated(m, l, o.evaluator(l.Len()), i)
-	return lab, rng, nil
+	return r.Labels, r.Sets, nil
 }
 
 // ThreeColor computes a proper 3-colouring of the list's nodes.
 func ThreeColor(l *list.List, o Options) ([]int, pram.Stats, error) {
-	if err := l.Validate(); err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+	r, err := o.run(o.request(engine.OpThreeColor, l))
+	if err != nil {
+		return nil, pram.Stats{}, err
 	}
-	m := o.machine()
-	defer m.Close()
-	col := color.ThreeColor(m, l, o.evaluator(l.Len()))
-	return col, m.Snapshot(), nil
+	return r.Labels, r.Stats, nil
 }
 
 // MIS computes a maximal independent set of the list's nodes via
 // maximal matching.
 func MIS(l *list.List, o Options) ([]bool, pram.Stats, error) {
-	if err := l.Validate(); err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
-	}
-	m := o.machine()
-	defer m.Close()
-	i := o.I
-	if i < 1 {
-		i = 3
-	}
-	in, err := color.MISViaMatching(m, l, matching.Match4Config{I: i, UseTable: o.UseTable})
+	r, err := o.run(o.request(engine.OpMIS, l))
 	if err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+		return nil, pram.Stats{}, err
 	}
-	return in, m.Snapshot(), nil
+	return r.In, r.Stats, nil
 }
-
-// RankScheme names a list-ranking algorithm.
-type RankScheme string
-
-// The available ranking schemes.
-const (
-	// RankContraction splices via per-round maximal matchings (default).
-	RankContraction RankScheme = "contraction"
-	// RankWyllie is pointer jumping, Θ(n log n) work.
-	RankWyllie RankScheme = "wyllie"
-	// RankLoadBalanced is the Anderson–Miller-style queue scheme.
-	RankLoadBalanced RankScheme = "loadbalanced"
-	// RankRandomMate is randomized contraction.
-	RankRandomMate RankScheme = "randommate"
-)
 
 // Rank computes rank-from-head for every node with the scheme selected
 // by o.Rank (default: matching contraction).
 func Rank(l *list.List, o Options) ([]int, pram.Stats, error) {
-	if err := l.Validate(); err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
-	}
-	m := o.machine()
-	defer m.Close()
-	scheme := o.Rank
-	if scheme == "" {
-		scheme = RankContraction
-	}
-	var (
-		rk  []int
-		err error
-	)
-	switch scheme {
-	case RankContraction:
-		rk, _, err = rank.Rank(m, l, nil)
-	case RankWyllie:
-		rk = rank.WyllieRank(m, l)
-	case RankLoadBalanced:
-		rk, _, err = rank.LoadBalancedRank(m, l)
-	case RankRandomMate:
-		rk, _ = rank.RandomMateRank(m, l, o.Seed)
-	default:
-		return nil, pram.Stats{}, fmt.Errorf("core: unknown ranking scheme %q", scheme)
-	}
+	r, err := o.run(o.request(engine.OpRank, l))
 	if err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+		return nil, pram.Stats{}, err
 	}
-	return rk, m.Snapshot(), nil
+	return r.Ranks, r.Stats, nil
 }
 
 // Prefix computes data-dependent prefix sums over the list.
 func Prefix(l *list.List, vals []int, o Options) ([]int, pram.Stats, error) {
-	if err := l.Validate(); err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
-	}
-	if len(vals) != l.Len() {
-		return nil, pram.Stats{}, fmt.Errorf("core: %d values for %d nodes", len(vals), l.Len())
-	}
-	m := o.machine()
-	defer m.Close()
-	out, _, err := rank.Prefix(m, l, vals, nil)
+	req := o.request(engine.OpPrefix, l)
+	req.Values = vals
+	r, err := o.run(req)
 	if err != nil {
-		return nil, pram.Stats{}, fmt.Errorf("core: %w", err)
+		return nil, pram.Stats{}, err
 	}
-	return out, m.Snapshot(), nil
+	return r.Ranks, r.Stats, nil
 }
 
 // ScheduleMatching converts any externally supplied matching partition
@@ -257,17 +245,127 @@ func Prefix(l *list.List, vals []int, o Options) ([]int, pram.Stats, error) {
 // maximal matching with §4's processor-scheduling technique, in
 // O(n/p + K) simulated time.
 func ScheduleMatching(l *list.List, lab []int, K int, o Options) (*Result, error) {
-	if err := l.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	m := o.machine()
-	defer m.Close()
-	r, err := matching.ScheduleMatching(m, l, lab, K)
+	req := o.request(engine.OpSchedule, l)
+	req.Labels = lab
+	req.K = K
+	r, err := o.run(req)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	return &Result{In: r.In, Size: r.Size, Stats: r.Stats, Detail: r}, nil
+	return matchResult(r), nil
 }
 
 // Verify re-checks that in is a maximal matching of l.
 func Verify(l *list.List, in []bool) error { return matching.Verify(l, in) }
+
+// EngineConfig shapes a dedicated engine; see engine.Config.
+type EngineConfig = engine.Config
+
+// EngineStats are an engine's cumulative counters; see engine.Stats.
+type EngineStats = engine.Stats
+
+// Engine is a session handle owning one warm machine + workspace pair:
+// construct once, serve many requests (concurrently if desired), Close
+// when done. The per-call Options select algorithm, processor count and
+// parameters as usual; the executor and tracer are fixed by the
+// EngineConfig at construction and the corresponding Options fields are
+// ignored on a dedicated engine.
+type Engine struct {
+	e *engine.Engine
+}
+
+// NewEngine returns a dedicated engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{e: engine.New(cfg)}
+}
+
+// Close releases the engine's machine. Further calls fail.
+func (e *Engine) Close() error { return e.e.Close() }
+
+// Stats returns cumulative request counters.
+func (e *Engine) Stats() EngineStats { return e.e.Stats() }
+
+// Run serves a raw engine request — the full-control entry point
+// (context cancellation, per-request fault plans, result reuse via the
+// engine package).
+func (e *Engine) Run(ctx context.Context, req engine.Request) (*engine.Result, error) {
+	return e.e.Run(ctx, req)
+}
+
+func (e *Engine) run(req engine.Request) (*engine.Result, error) {
+	res, err := e.e.Run(context.Background(), req)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return res, nil
+}
+
+// MaximalMatching computes a maximal matching on this engine.
+func (e *Engine) MaximalMatching(l *list.List, o Options) (*Result, error) {
+	r, err := e.run(o.request(engine.OpMatching, l))
+	if err != nil {
+		return nil, err
+	}
+	return matchResult(r), nil
+}
+
+// Partition computes a matching partition on this engine.
+func (e *Engine) Partition(l *list.List, i int, o Options) ([]int, int, error) {
+	req := o.request(engine.OpPartition, l)
+	req.Iters = i
+	r, err := e.run(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Labels, r.Sets, nil
+}
+
+// ThreeColor computes a proper 3-colouring on this engine.
+func (e *Engine) ThreeColor(l *list.List, o Options) ([]int, pram.Stats, error) {
+	r, err := e.run(o.request(engine.OpThreeColor, l))
+	if err != nil {
+		return nil, pram.Stats{}, err
+	}
+	return r.Labels, r.Stats, nil
+}
+
+// MIS computes a maximal independent set on this engine.
+func (e *Engine) MIS(l *list.List, o Options) ([]bool, pram.Stats, error) {
+	r, err := e.run(o.request(engine.OpMIS, l))
+	if err != nil {
+		return nil, pram.Stats{}, err
+	}
+	return r.In, r.Stats, nil
+}
+
+// Rank computes rank-from-head on this engine.
+func (e *Engine) Rank(l *list.List, o Options) ([]int, pram.Stats, error) {
+	r, err := e.run(o.request(engine.OpRank, l))
+	if err != nil {
+		return nil, pram.Stats{}, err
+	}
+	return r.Ranks, r.Stats, nil
+}
+
+// Prefix computes data-dependent prefix sums on this engine.
+func (e *Engine) Prefix(l *list.List, vals []int, o Options) ([]int, pram.Stats, error) {
+	req := o.request(engine.OpPrefix, l)
+	req.Values = vals
+	r, err := e.run(req)
+	if err != nil {
+		return nil, pram.Stats{}, err
+	}
+	return r.Ranks, r.Stats, nil
+}
+
+// ScheduleMatching runs §4's scheduling technique on this engine.
+func (e *Engine) ScheduleMatching(l *list.List, lab []int, K int, o Options) (*Result, error) {
+	req := o.request(engine.OpSchedule, l)
+	req.Labels = lab
+	req.K = K
+	r, err := e.run(req)
+	if err != nil {
+		return nil, err
+	}
+	return matchResult(r), nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"parlist/internal/list"
+)
+
+// These tests pin the Options-validation contract: malformed inputs
+// come back as typed errors (errors.Is-testable), never panics.
+
+func TestNilListIsTypedError(t *testing.T) {
+	if _, err := MaximalMatching(nil, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("MaximalMatching(nil): err = %v, want ErrNilList", err)
+	}
+	if _, _, err := Rank(nil, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("Rank(nil): err = %v, want ErrNilList", err)
+	}
+	if _, _, err := ThreeColor(nil, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("ThreeColor(nil): err = %v, want ErrNilList", err)
+	}
+	if _, _, err := MIS(nil, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("MIS(nil): err = %v, want ErrNilList", err)
+	}
+	if _, _, err := Prefix(nil, nil, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("Prefix(nil): err = %v, want ErrNilList", err)
+	}
+	if _, _, err := Partition(nil, 1, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("Partition(nil): err = %v, want ErrNilList", err)
+	}
+	if _, err := ScheduleMatching(nil, nil, 1, Options{}); !errors.Is(err, ErrNilList) {
+		t.Errorf("ScheduleMatching(nil): err = %v, want ErrNilList", err)
+	}
+}
+
+func TestNegativeProcessorsIsTypedError(t *testing.T) {
+	l := list.SequentialList(8)
+	for _, p := range []int{-1, -64} {
+		if _, err := MaximalMatching(l, Options{Processors: p}); !errors.Is(err, ErrBadProcessors) {
+			t.Errorf("p=%d: err = %v, want ErrBadProcessors", p, err)
+		}
+	}
+	// Zero still means "default to one" — the documented behaviour.
+	res, err := MaximalMatching(l, Options{Processors: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Processors != 1 {
+		t.Errorf("p=0 ran with %d processors, want 1", res.Stats.Processors)
+	}
+}
+
+func TestUnknownAlgorithmIsTypedError(t *testing.T) {
+	l := list.SequentialList(8)
+	_, err := MaximalMatching(l, Options{Algorithm: "quantum"})
+	if !errors.Is(err, ErrUnknownAlgorithm) {
+		t.Errorf("err = %v, want ErrUnknownAlgorithm", err)
+	}
+}
+
+func TestUnknownRankSchemeIsTypedError(t *testing.T) {
+	l := list.SequentialList(8)
+	_, _, err := Rank(l, Options{Rank: "sorcery"})
+	if !errors.Is(err, ErrUnknownRankScheme) {
+		t.Errorf("err = %v, want ErrUnknownRankScheme", err)
+	}
+}
+
+func TestValidationErrorsDoNotPoisonTheSharedEngine(t *testing.T) {
+	l := list.RandomList(256, 1)
+	if _, err := MaximalMatching(nil, Options{}); err == nil {
+		t.Fatal("nil list accepted")
+	}
+	res, err := MaximalMatching(l, Options{Processors: 8})
+	if err != nil {
+		t.Fatalf("request after validation failure: %v", err)
+	}
+	if err := Verify(l, res.In); err != nil {
+		t.Error(err)
+	}
+}

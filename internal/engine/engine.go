@@ -1,0 +1,577 @@
+// Package engine provides the session layer of parlist: a long-lived
+// Engine owning one simulated PRAM machine (with its persistent worker
+// pool) and one workspace arena, serving algorithm requests through a
+// single serialized entry point.
+//
+// The package-level functions in core construct a fresh machine per
+// call and let every scratch array fall to the garbage collector; the
+// engine instead keeps the machine warm and recycles the scratch, so
+// the second and later requests at a fixed size run without heap
+// allocation (BenchmarkEngineReuse asserts this). N concurrent callers
+// may share one Engine: requests are serialized onto the machine, and
+// every output is copied out of the workspace before the next request
+// can reset it.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"parlist/internal/color"
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/rank"
+	"parlist/internal/ws"
+)
+
+// Algorithm names a maximal-matching algorithm.
+type Algorithm string
+
+// The available algorithms.
+const (
+	AlgoMatch1     Algorithm = "match1"     // iterated coin tossing, O(nG(n)/p + G(n))
+	AlgoMatch2     Algorithm = "match2"     // sort-based optimal EREW, O(n/p + log n)
+	AlgoMatch3     Algorithm = "match3"     // table lookup, O(n·logG(n)/p + logG(n))
+	AlgoMatch4     Algorithm = "match4"     // §3 scheduling, O(n·log i/p + log^(i) n + log i)
+	AlgoSequential Algorithm = "sequential" // greedy walk baseline, O(n)
+	AlgoRandomized Algorithm = "randomized" // random coin tossing baseline
+)
+
+// RankScheme names a list-ranking algorithm.
+type RankScheme string
+
+// The available ranking schemes.
+const (
+	// RankContraction splices via per-round maximal matchings (default).
+	RankContraction RankScheme = "contraction"
+	// RankWyllie is pointer jumping, Θ(n log n) work.
+	RankWyllie RankScheme = "wyllie"
+	// RankLoadBalanced is the Anderson–Miller-style queue scheme.
+	RankLoadBalanced RankScheme = "loadbalanced"
+	// RankRandomMate is randomized contraction.
+	RankRandomMate RankScheme = "randommate"
+)
+
+// Op selects what a Request computes.
+type Op int
+
+// The request operations.
+const (
+	// OpMatching computes a maximal matching (Request.Algorithm).
+	OpMatching Op = iota
+	// OpPartition computes an O(log^(i) n)-set matching partition
+	// (Request.Iters applications of f).
+	OpPartition
+	// OpThreeColor computes a proper 3-colouring of the nodes.
+	OpThreeColor
+	// OpMIS computes a maximal independent set via maximal matching.
+	OpMIS
+	// OpRank computes rank-from-head for every node (Request.Rank).
+	OpRank
+	// OpPrefix computes data-dependent prefix sums (Request.Values).
+	OpPrefix
+	// OpSchedule converts an externally supplied matching partition
+	// (Request.Labels, Request.K) into a maximal matching (§4).
+	OpSchedule
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpMatching:
+		return "matching"
+	case OpPartition:
+		return "partition"
+	case OpThreeColor:
+		return "threecolor"
+	case OpMIS:
+		return "mis"
+	case OpRank:
+		return "rank"
+	case OpPrefix:
+		return "prefix"
+	case OpSchedule:
+		return "schedule"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Typed request-validation errors. Callers test with errors.Is; the
+// returned errors carry request detail around these sentinels.
+var (
+	// ErrClosed reports a request against a closed engine.
+	ErrClosed = errors.New("engine closed")
+	// ErrNilList reports a request with no input list.
+	ErrNilList = errors.New("nil list")
+	// ErrBadProcessors reports a negative simulated processor count.
+	ErrBadProcessors = errors.New("processors must be ≥ 1")
+	// ErrUnknownAlgorithm reports an Algorithm outside the known set.
+	ErrUnknownAlgorithm = errors.New("unknown algorithm")
+	// ErrUnknownRankScheme reports a RankScheme outside the known set.
+	ErrUnknownRankScheme = errors.New("unknown ranking scheme")
+	// ErrBadValues reports an OpPrefix value slice of the wrong length.
+	ErrBadValues = errors.New("values length mismatch")
+	// ErrBadIterations reports an OpPartition iteration count < 1.
+	ErrBadIterations = errors.New("partition iterations must be ≥ 1")
+	// ErrUnknownOp reports a Request.Op outside the known set.
+	ErrUnknownOp = errors.New("unknown operation")
+)
+
+// Config fixes an Engine's machine shape. The simulated processor count
+// can still be overridden per request; everything else is engine-wide.
+type Config struct {
+	// Processors is the default simulated PRAM processor count
+	// (default 1); Request.Processors overrides it per request.
+	Processors int
+	// Exec selects the simulator executor (default pram.Sequential).
+	Exec pram.Exec
+	// Workers caps the real worker count for the parallel executors
+	// (default GOMAXPROCS).
+	Workers int
+	// Watchdog arms the fused-round barrier watchdog on the pooled
+	// executor (0 = disabled).
+	Watchdog time.Duration
+	// Tracer, when non-nil, records round-level logs of every request
+	// served (entries accumulate across requests).
+	Tracer *pram.Tracer
+}
+
+// Request describes one computation. The zero value of every field is a
+// sensible default; only Op and List are always meaningful.
+type Request struct {
+	// Op selects the computation (default OpMatching).
+	Op Op
+	// List is the input linked list (required).
+	List *list.List
+	// Processors overrides the engine's simulated processor count for
+	// this request (0 = engine default; negative is an error).
+	Processors int
+
+	// Algorithm selects the maximal-matching algorithm for OpMatching
+	// and the matching rounds beneath OpMIS (default AlgoMatch4).
+	Algorithm Algorithm
+	// I is Match4's adjustable parameter (default 3).
+	I int
+	// UseTable selects the Lemma 5 table-based partition in Match4.
+	UseTable bool
+	// CRCW selects the O(1) CRCW table build in Match3 (as in [7]).
+	CRCW bool
+	// Variant selects the matching partition function's bit choice
+	// (default partition.MSB).
+	Variant partition.Variant
+	// Seed feeds the randomized algorithms.
+	Seed int64
+
+	// Iters is OpPartition's application count i (must be ≥ 1).
+	Iters int
+	// Rank selects the OpRank scheme (default RankContraction).
+	Rank RankScheme
+	// Values are OpPrefix's addends (length must equal the list's).
+	Values []int
+	// Labels and K are OpSchedule's externally supplied matching
+	// partition: labels in [0, K), consecutive pointers distinct.
+	Labels []int
+	K      int
+
+	// Faults installs a deterministic fault-injection plan for this
+	// request only. Fault coordinates are request-relative: the pool's
+	// round counter rewinds to zero at every request, so the same plan
+	// hits the same rounds no matter how many requests ran before.
+	Faults *pram.FaultPlan
+}
+
+// Result is one request's output. All slices are owned by the Result
+// (copied out of the engine's workspace) and remain valid indefinitely.
+// A Result may be reused across RunInto calls to avoid reallocation.
+type Result struct {
+	Op        Op
+	Algorithm string
+	// In is the matching / independent-set membership (OpMatching,
+	// OpMIS, OpSchedule).
+	In []bool
+	// Labels are partition labels or colours (OpPartition, OpThreeColor).
+	Labels []int
+	// Ranks are ranks or prefix sums (OpRank, OpPrefix).
+	Ranks []int
+	// Size is the number of matched pointers (OpMatching, OpSchedule).
+	Size int
+	// Sets, Rounds and TableSize carry the algorithm-specific detail.
+	Sets      int
+	Rounds    int
+	TableSize int
+	// Stats is the simulated PRAM accounting for this request alone.
+	Stats pram.Stats
+}
+
+// Stats are an engine's cumulative counters since construction.
+type Stats struct {
+	// Requests is the number of requests served (including failures).
+	Requests int64
+	// Failures counts requests that returned an error (validation
+	// failures and recovered machine faults alike).
+	Failures int64
+	// Rebuilds counts machine replacements after the first build — a
+	// processor-count change or a degraded (post-fault) pool.
+	Rebuilds int64
+	// SimTime and SimWork accumulate the simulated PRAM step and
+	// operation counts over all successful requests.
+	SimTime int64
+	SimWork int64
+	// Arena is the workspace allocator's counters: steady state shows
+	// Hits ≈ Gets and a flat BytesAllocated.
+	Arena ws.Stats
+}
+
+type evalKey struct {
+	v partition.Variant
+	w int
+}
+
+// Engine owns one machine + workspace pair and serializes requests onto
+// it. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	// sem is a one-slot semaphore: the holder owns the machine, the
+	// workspace and every non-atomic field below.
+	sem chan struct{}
+
+	closed      bool
+	m           *pram.Machine
+	wsp         *ws.Workspace
+	runner      *matching.Runner
+	runnerIters int
+	evals       map[evalKey]*partition.Evaluator
+	mres        matching.Result // runner output scratch
+
+	statsCh chan Stats // 1-slot mailbox holding the cumulative counters
+}
+
+// New returns an idle engine; the machine is built on first use.
+func New(cfg Config) *Engine {
+	if cfg.Processors < 1 {
+		cfg.Processors = 1
+	}
+	e := &Engine{
+		cfg:     cfg,
+		sem:     make(chan struct{}, 1),
+		wsp:     ws.New(),
+		evals:   make(map[evalKey]*partition.Evaluator),
+		statsCh: make(chan Stats, 1),
+	}
+	e.statsCh <- Stats{}
+	return e
+}
+
+// Stats returns the cumulative counters.
+func (e *Engine) Stats() Stats {
+	st := <-e.statsCh
+	e.statsCh <- st
+	return st
+}
+
+// Close shuts the engine down: the worker pool is released and further
+// requests fail with ErrClosed. Close is idempotent.
+func (e *Engine) Close() error {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.m != nil {
+		e.m.Close()
+	}
+	return nil
+}
+
+// Run serves one request, allocating a fresh Result.
+func (e *Engine) Run(ctx context.Context, req Request) (*Result, error) {
+	res := new(Result)
+	if err := e.RunInto(ctx, req, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto serves one request into a caller-owned Result, reusing its
+// slice capacity — the zero-allocation path for repeated requests.
+// Blocks until the machine is free or ctx is done.
+func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
+	if res == nil {
+		return errors.New("engine: RunInto with nil result")
+	}
+	// A done context always wins, even when the machine is free (select
+	// picks randomly among ready cases).
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-e.sem }()
+
+	err := e.serve(req, res)
+
+	st := <-e.statsCh
+	st.Requests++
+	if err != nil {
+		st.Failures++
+	} else {
+		st.SimTime += res.Stats.Time
+		st.SimWork += res.Stats.Work
+	}
+	st.Arena = e.wsp.Stats()
+	e.statsCh <- st
+	return err
+}
+
+// serve runs one request under the semaphore.
+func (e *Engine) serve(req Request, res *Result) error {
+	if e.closed {
+		return fmt.Errorf("engine: %w", ErrClosed)
+	}
+	if req.List == nil {
+		return fmt.Errorf("engine: %w", ErrNilList)
+	}
+	p := req.Processors
+	if p == 0 {
+		p = e.cfg.Processors
+	}
+	if p < 1 {
+		return fmt.Errorf("engine: %d %w", p, ErrBadProcessors)
+	}
+	if e.m == nil || e.m.Processors() != p || e.m.Degraded() {
+		e.rebuild(p)
+	}
+
+	// Request prologue: recycle the scratch epoch, rewind the
+	// accounting, and (re)install this request's fault plan — the pool's
+	// round counter rewinds with it, so fault coordinates never depend
+	// on how many requests this machine served before.
+	e.wsp.Reset()
+	e.m.Reset()
+	e.m.SetFaults(req.Faults)
+
+	n := req.List.Len()
+	if err := req.List.ValidateInto(e.wsp.Ints(n)); err != nil {
+		return err
+	}
+
+	res.Op = req.Op
+	res.Algorithm = ""
+	res.In = res.In[:0]
+	res.Labels = res.Labels[:0]
+	res.Ranks = res.Ranks[:0]
+	res.Size, res.Sets, res.Rounds, res.TableSize = 0, 0, 0, 0
+
+	return e.dispatch(req, res)
+}
+
+// rebuild replaces the machine (first build included), keeping the
+// workspace and its warm free lists.
+func (e *Engine) rebuild(p int) {
+	if e.m != nil {
+		e.m.Close()
+		st := <-e.statsCh
+		st.Rebuilds++
+		e.statsCh <- st
+	}
+	opts := []pram.Option{pram.WithExec(e.cfg.Exec), pram.WithWorkspace(e.wsp)}
+	if e.cfg.Workers > 0 {
+		opts = append(opts, pram.WithWorkers(e.cfg.Workers))
+	}
+	if e.cfg.Watchdog > 0 {
+		opts = append(opts, pram.WithWatchdog(e.cfg.Watchdog))
+	}
+	if e.cfg.Tracer != nil {
+		opts = append(opts, pram.WithTracer(e.cfg.Tracer))
+	}
+	e.m = pram.New(p, opts...)
+	e.runner = nil // bound to the old machine
+}
+
+// eval returns the cached evaluator for (variant, list size).
+func (e *Engine) eval(v partition.Variant, n int) *partition.Evaluator {
+	w := 1
+	for x := 2; x < n; x *= 2 {
+		w++
+	}
+	if w < 2 {
+		w = 2
+	}
+	k := evalKey{v, w}
+	ev := e.evals[k]
+	if ev == nil {
+		ev = partition.NewEvaluator(v, w)
+		e.evals[k] = ev
+	}
+	return ev
+}
+
+// dispatch executes the request body on the prepared machine,
+// translating recovered executor failures (an injected worker panic, a
+// stalled barrier abandoned by the watchdog) into errors. The machine is
+// left degraded by such failures; the next request rebuilds it.
+func (e *Engine) dispatch(req Request, res *Result) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch f := r.(type) {
+		case *pram.WorkerPanic:
+			err = fmt.Errorf("engine: request failed: %w", f)
+		case *pram.BarrierStall:
+			err = fmt.Errorf("engine: request failed: %w", f)
+		default:
+			panic(r)
+		}
+	}()
+
+	m, l := e.m, req.List
+	n := l.Len()
+	switch req.Op {
+	case OpMatching:
+		return e.runMatching(req, res)
+	case OpPartition:
+		if req.Iters < 1 {
+			return fmt.Errorf("engine: i=%d: %w", req.Iters, ErrBadIterations)
+		}
+		lab, rng := matching.PartitionIterated(m, l, e.eval(req.Variant, n), req.Iters)
+		res.Labels = append(res.Labels, lab...)
+		res.Sets = rng
+		res.Rounds = req.Iters
+	case OpThreeColor:
+		res.Labels = append(res.Labels, color.ThreeColor(m, l, e.eval(req.Variant, n))...)
+	case OpMIS:
+		i := req.I
+		if i < 1 {
+			i = 3
+		}
+		in, err := color.MISViaMatching(m, l, matching.Match4Config{I: i, UseTable: req.UseTable})
+		if err != nil {
+			return err
+		}
+		res.In = append(res.In, in...)
+	case OpRank:
+		scheme := req.Rank
+		if scheme == "" {
+			scheme = RankContraction
+		}
+		var rk []int
+		var err error
+		switch scheme {
+		case RankContraction:
+			rk, _, err = rank.Rank(m, l, nil)
+		case RankWyllie:
+			rk = rank.WyllieRank(m, l)
+		case RankLoadBalanced:
+			rk, _, err = rank.LoadBalancedRank(m, l)
+		case RankRandomMate:
+			rk, _ = rank.RandomMateRank(m, l, req.Seed)
+		default:
+			return fmt.Errorf("engine: %q: %w", scheme, ErrUnknownRankScheme)
+		}
+		if err != nil {
+			return err
+		}
+		res.Ranks = append(res.Ranks, rk...)
+	case OpPrefix:
+		if len(req.Values) != n {
+			return fmt.Errorf("engine: %d values for %d nodes: %w", len(req.Values), n, ErrBadValues)
+		}
+		out, _, err := rank.Prefix(m, l, req.Values, nil)
+		if err != nil {
+			return err
+		}
+		res.Ranks = append(res.Ranks, out...)
+	case OpSchedule:
+		r, err := matching.ScheduleMatching(m, l, req.Labels, req.K)
+		if err != nil {
+			return err
+		}
+		e.copyMatching(r, res)
+	default:
+		return fmt.Errorf("engine: %v: %w", req.Op, ErrUnknownOp)
+	}
+	m.SnapshotInto(&res.Stats)
+	return nil
+}
+
+// runMatching serves OpMatching. The default configuration (Match4,
+// iterated partition, MSB variant) takes the reusable Runner fast path;
+// every other selection falls back to the one-shot implementations on
+// the same machine.
+func (e *Engine) runMatching(req Request, res *Result) error {
+	m, l := e.m, req.List
+	n := l.Len()
+	algo := req.Algorithm
+	if algo == "" {
+		algo = AlgoMatch4
+	}
+	i := req.I
+	if i < 1 {
+		i = 3
+	}
+	var (
+		r   *matching.Result
+		err error
+	)
+	switch algo {
+	case AlgoMatch4:
+		if !req.UseTable && req.Variant == partition.MSB {
+			if e.runner == nil || e.runnerIters != i {
+				e.runner, err = matching.NewRunner(m, i)
+				if err != nil {
+					return err
+				}
+				e.runnerIters = i
+			}
+			if err := e.runner.Run(l, &e.mres); err != nil {
+				return err
+			}
+			r = &e.mres
+		} else {
+			r, err = matching.Match4(m, l, e.eval(req.Variant, n), matching.Match4Config{I: i, UseTable: req.UseTable})
+		}
+	case AlgoMatch1:
+		r = matching.Match1(m, l, e.eval(req.Variant, n))
+	case AlgoMatch2:
+		r = matching.Match2(m, l, e.eval(req.Variant, n))
+	case AlgoMatch3:
+		r, err = matching.Match3(m, l, e.eval(req.Variant, n), matching.Match3Config{CRCWBuild: req.CRCW})
+	case AlgoSequential:
+		in := matching.Sequential(l)
+		m.Charge(int64(n), int64(n))
+		r = &matching.Result{Algorithm: "sequential", In: in, Size: matching.Count(in)}
+	case AlgoRandomized:
+		in, rounds := matching.Randomized(m, l, req.Seed)
+		r = &matching.Result{Algorithm: "randomized", In: in, Size: matching.Count(in), Rounds: rounds}
+	default:
+		return fmt.Errorf("engine: %q: %w", algo, ErrUnknownAlgorithm)
+	}
+	if err != nil {
+		return err
+	}
+	e.copyMatching(r, res)
+	e.m.SnapshotInto(&res.Stats)
+	return nil
+}
+
+// copyMatching moves a matching result into the caller-owned Result
+// (res.In reuses capacity; r.In may alias the workspace).
+func (e *Engine) copyMatching(r *matching.Result, res *Result) {
+	res.Algorithm = r.Algorithm
+	res.In = append(res.In, r.In...)
+	res.Size = r.Size
+	res.Sets = r.Sets
+	res.Rounds = r.Rounds
+	res.TableSize = r.TableSize
+}

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"parlist/internal/bits"
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
 	"parlist/internal/partition"
@@ -90,6 +92,33 @@ func runE2(cfg Config) ([]*Table, error) {
 	return []*Table{t}, nil
 }
 
+// sweepMatching runs one matching request per processor count on a
+// single engine (the arena persists across the sweep; the machine is
+// rebuilt only when p changes) and hands each verified result to emit.
+func sweepMatching(cfg Config, l *list.List, req engine.Request,
+	emit func(p int, res *engine.Result) error) error {
+	eng := engine.New(engine.Config{})
+	defer eng.Close()
+	var res engine.Result
+	for _, p := range procSweep(l.Len(), cfg) {
+		req.List = l
+		req.Processors = p
+		if err := eng.RunInto(context.Background(), req, &res); err != nil {
+			return err
+		}
+		if err := matching.Verify(l, res.In); err != nil {
+			return err
+		}
+		if err := cfg.checkMatching(l, res.In); err != nil {
+			return err
+		}
+		if err := emit(p, &res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // runE3 sweeps processors for Match1 against O(nG(n)/p + G(n)).
 func runE3(cfg Config) ([]*Table, error) {
 	n := 1 << 18
@@ -103,17 +132,14 @@ func runE3(cfg Config) ([]*Table, error) {
 		Header: []string{"p", "time", "predicted", "time/pred", "work", "efficiency"},
 	}
 	l := list.RandomList(n, cfg.Seed)
-	for _, p := range procSweep(n, cfg) {
-		m := pram.New(p)
-		r := matching.Match1(m, l, nil)
-		if err := matching.Verify(l, r.In); err != nil {
-			return nil, err
-		}
-		if err := cfg.checkMatching(l, r.In); err != nil {
-			return nil, err
-		}
-		pred := int64(n)*g/int64(p) + g
-		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.Stats.Work, r.Stats.Efficiency(int64(n)))
+	err := sweepMatching(cfg, l, engine.Request{Algorithm: engine.AlgoMatch1},
+		func(p int, r *engine.Result) error {
+			pred := int64(n)*g/int64(p) + g
+			t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.Stats.Work, r.Stats.Efficiency(int64(n)))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -131,24 +157,21 @@ func runE4(cfg Config) ([]*Table, error) {
 	}
 	l := list.RandomList(n, cfg.Seed)
 	logn := int64(bits.CeilLog2(n))
-	for _, p := range procSweep(n, cfg) {
-		m := pram.New(p)
-		r := matching.Match2(m, l, nil)
-		if err := matching.Verify(l, r.In); err != nil {
-			return nil, err
-		}
-		if err := cfg.checkMatching(l, r.In); err != nil {
-			return nil, err
-		}
-		var sortTime int64
-		for _, ph := range r.Stats.Phases {
-			if ph.Name == "sort" {
-				sortTime = ph.Time
+	err := sweepMatching(cfg, l, engine.Request{Algorithm: engine.AlgoMatch2},
+		func(p int, r *engine.Result) error {
+			var sortTime int64
+			for _, ph := range r.Stats.Phases {
+				if ph.Name == "sort" {
+					sortTime = ph.Time
+				}
 			}
-		}
-		pred := int64(n)/int64(p) + logn
-		pct := 100 * float64(sortTime) / float64(r.Stats.Time)
-		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), fmt.Sprintf("%.1f", pct), r.Stats.Efficiency(int64(n)))
+			pred := int64(n)/int64(p) + logn
+			pct := 100 * float64(sortTime) / float64(r.Stats.Time)
+			t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), fmt.Sprintf("%.1f", pct), r.Stats.Efficiency(int64(n)))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -165,21 +188,15 @@ func runE5(cfg Config) ([]*Table, error) {
 		Header: []string{"p", "time", "predicted", "time/pred", "table", "table<n", "efficiency"},
 	}
 	l := list.RandomList(n, cfg.Seed)
-	for _, p := range procSweep(n, cfg) {
-		m := pram.New(p)
-		r, err := matching.Match3(m, l, nil, matching.Match3Config{CRCWBuild: true})
-		if err != nil {
-			return nil, err
-		}
-		if err := matching.Verify(l, r.In); err != nil {
-			return nil, err
-		}
-		if err := cfg.checkMatching(l, r.In); err != nil {
-			return nil, err
-		}
-		pred := matching.Match3Predicted(n, p)
-		t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.TableSize,
-			fmt.Sprint(r.TableSize < n), r.Stats.Efficiency(int64(n)))
+	err := sweepMatching(cfg, l, engine.Request{Algorithm: engine.AlgoMatch3, CRCW: true},
+		func(p int, r *engine.Result) error {
+			pred := matching.Match3Predicted(n, p)
+			t.Add(p, r.Stats.Time, pred, ratio(r.Stats.Time, pred), r.TableSize,
+				fmt.Sprint(r.TableSize < n), r.Stats.Efficiency(int64(n)))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }

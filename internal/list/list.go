@@ -100,7 +100,13 @@ func (l *List) Clone() *List {
 // Validate checks that the structure is a single nil-terminated list
 // covering all n nodes: indices in range, exactly one tail, in-degrees
 // at most one, and all nodes reachable from Head.
-func (l *List) Validate() error {
+func (l *List) Validate() error { return l.ValidateInto(nil) }
+
+// ValidateInto is Validate with caller-provided scratch for the
+// in-degree table: indeg must be zeroed with len ≥ n, or nil to
+// allocate. The engine validates every request's list and passes arena
+// scratch here so validation stays off the steady-state alloc count.
+func (l *List) ValidateInto(indeg []int) error {
 	n := len(l.Next)
 	if n == 0 {
 		return errors.New("list: empty")
@@ -109,7 +115,11 @@ func (l *List) Validate() error {
 		return fmt.Errorf("list: head %d out of range [0,%d)", l.Head, n)
 	}
 	tails := 0
-	indeg := make([]int, n)
+	if indeg == nil {
+		indeg = make([]int, n)
+	} else {
+		indeg = indeg[:n]
+	}
 	for u, v := range l.Next {
 		switch {
 		case v == Nil:

@@ -5,6 +5,7 @@ import (
 
 	"parlist/internal/list"
 	"parlist/internal/pram"
+	"parlist/internal/ws"
 )
 
 // logCeil returns ⌈log₂ x⌉ for x ≥ 1 without importing bits (avoids an
@@ -51,7 +52,7 @@ func CutAndWalk(m *pram.Machine, l *list.List, lab []int, labelRange int, pred [
 	if pred == nil {
 		pred = predPar(m, l)
 	}
-	in := make([]bool, n)
+	in := ws.Bools(m.Workspace(), n)
 	if n < 2 {
 		return in
 	}
@@ -59,7 +60,7 @@ func CutAndWalk(m *pram.Machine, l *list.List, lab []int, labelRange int, pred [
 	isPtr := func(v int) bool { return l.Next[v] != list.Nil }
 
 	// Step 3: interior local minima. cut[v] refers to pointer ⟨v,suc(v)⟩.
-	cut := make([]bool, n)
+	cut := ws.Bools(m.Workspace(), n)
 	m.ParFor(n, func(v int) {
 		if !isPtr(v) {
 			return

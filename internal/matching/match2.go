@@ -5,6 +5,7 @@ import (
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 	"parlist/internal/sortint"
+	"parlist/internal/ws"
 )
 
 // match2CrunchIters is the number of f applications Match2 uses to reach
@@ -39,7 +40,7 @@ func Match2(m *pram.Machine, l *list.List, e *partition.Evaluator) *Result {
 
 	// The tail has no pointer; give it the spare key K so it sorts last
 	// and is skipped by step 3.
-	keys := make([]int, n)
+	keys := ws.IntsNoZero(m.Workspace(), n) // every cell written below
 	m.ParFor(n, func(v int) {
 		if l.Next[v] == list.Nil {
 			keys[v] = K
@@ -70,14 +71,15 @@ func Match2(m *pram.Machine, l *list.List, e *partition.Evaluator) *Result {
 // DONE updates never conflict.
 func admitBySets(m *pram.Machine, l *list.List, keys, perm []int, K int) []bool {
 	n := l.Len()
-	in := make([]bool, n)
-	done := make([]bool, n)
+	w := m.Workspace()
+	in := ws.Bools(w, n)
+	done := ws.Bools(w, n)
 	m.ParFor(n, func(v int) { done[v] = false })
 
 	// Segment boundaries: start[k] = first position of set k in perm.
 	// Computed with one parallel round over positions (a position starts
 	// a segment when its key differs from its predecessor's).
-	start := make([]int, K+2)
+	start := ws.IntsNoZero(w, K+2) // every cell written by the -1 fill
 	for k := range start {
 		start[k] = -1
 	}
@@ -89,7 +91,7 @@ func admitBySets(m *pram.Machine, l *list.List, keys, perm []int, K int) []bool 
 	})
 	// Fill ends: end of set k = next started segment (host O(K) sweep,
 	// charged as one K-length round).
-	end := make([]int, K+1)
+	end := ws.IntsNoZero(w, K+1)
 	next := n
 	for k := K; k >= 0; k-- {
 		if start[k] < 0 {

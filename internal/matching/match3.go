@@ -8,6 +8,7 @@ import (
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 	"parlist/internal/table"
+	"parlist/internal/ws"
 )
 
 // Match3Config tunes the table-lookup algorithm.
@@ -81,7 +82,8 @@ func PartitionTable(m *pram.Machine, l *list.List, e *partition.Evaluator, effec
 	// pseudo-successor convention; the adjacent-distinct invariant holds
 	// on the cycle, so every window folds correctly).
 	m.Phase("concatenate")
-	nxt := make([]int, n)
+	w := m.Workspace()
+	nxt := ws.IntsNoZero(w, n) // first round writes every cell
 	m.ParFor(n, func(v int) {
 		if s := l.Next[v]; s != list.Nil {
 			nxt[v] = s
@@ -89,8 +91,8 @@ func PartitionTable(m *pram.Machine, l *list.List, e *partition.Evaluator, effec
 			nxt[v] = l.Head
 		}
 	})
-	auxLab := make([]int, n)
-	auxNxt := make([]int, n)
+	auxLab := ws.IntsNoZero(w, n) // copy round writes every cell
+	auxNxt := ws.IntsNoZero(w, n)
 	curBits := uint(p.FieldBits)
 	for r := 0; r < p.JumpRounds; r++ {
 		m.ParFor(n, func(v int) { auxLab[v] = lab[v]; auxNxt[v] = nxt[v] })

@@ -7,6 +7,7 @@ import (
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 	"parlist/internal/sortint"
+	"parlist/internal/ws"
 )
 
 // Match4Config tunes the optimized algorithm of §3.
@@ -178,19 +179,21 @@ func match4Finish(m *pram.Machine, l *list.List, lab []int, K, rounds, tableSize
 	// WalkDown2). Each column costs O(x); with p processors the round is
 	// ⌈y/p⌉·O(x) = O(n/p + x) time.
 	m.Phase("column-sort")
-	cellNode := make([]int, n)
-	rowOf := make([]int, n)
+	wk := m.Workspace()
+	cellNode := ws.IntsNoZero(wk, n) // the sort round writes every cell
+	rowOf := ws.IntsNoZero(wk, n)
 	colKeys := make([][]int, y)
 	// Flat per-column scratch, sliced by column index: columns touch
 	// disjoint ranges, so the goroutine executor stays race-free, and the
 	// round performs O(1) allocations instead of O(y) per-column ones
 	// (the in-body counting sort still allocates its counters).
-	keyBuf := make([]int, y*x)
-	nodeBuf := make([]int, y*x)
-	permBuf := make([]int, y*x)
-	countBuf := make([]int, y*(x+1))
-	sortedBuf := make([]int, n)
-	sortedOff := make([]int, y+1)
+	keyBuf := ws.IntsNoZero(wk, y*x)
+	nodeBuf := ws.IntsNoZero(wk, y*x)
+	permBuf := ws.IntsNoZero(wk, y*x)
+	countBuf := ws.IntsNoZero(wk, y*(x+1)) // SequentialByKeyInto zeroes its window
+	sortedBuf := ws.IntsNoZero(wk, n)
+	sortedOff := ws.IntsNoZero(wk, y+1)
+	sortedOff[0] = 0
 	for c := 0; c < y; c++ {
 		sortedOff[c+1] = sortedOff[c] + colLen(c)
 	}
@@ -230,7 +233,7 @@ func match4Finish(m *pram.Machine, l *list.List, lab []int, K, rounds, tableSize
 	if viaColoring {
 		// Paper-literal: greedy 3-colouring, converted by Match1 steps
 		// 3–4 afterwards.
-		color = make([]int, n)
+		color = ws.IntsNoZero(wk, n) // init round writes every cell
 		m.ParFor(n, func(v int) { color[v] = -1 })
 		process = func(v int) {
 			used := [3]bool{}
@@ -252,8 +255,8 @@ func match4Finish(m *pram.Machine, l *list.List, lab []int, K, rounds, tableSize
 		// Direct admission: a pointer joins the matching iff neither
 		// endpoint is taken; every pointer is processed exactly once, so
 		// the result is maximal by the usual greedy argument.
-		in = make([]bool, n)
-		used := make([]bool, n)
+		in = ws.Bools(wk, n)
+		used := ws.Bools(wk, n)
 		process = func(v int) {
 			s := l.Next[v]
 			if !used[v] && !used[s] {

@@ -34,6 +34,7 @@ import (
 	"parlist/internal/list"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
+	"parlist/internal/ws"
 )
 
 // Result reports a computed matching plus the accounting needed by the
@@ -142,11 +143,12 @@ func Sequential(l *list.List) []bool {
 // number of rounds.
 func Randomized(m *pram.Machine, l *list.List, seed int64) ([]bool, int) {
 	n := l.Len()
-	in := make([]bool, n)
-	live := make([]bool, n)
+	w := m.Workspace()
+	in := ws.Bools(w, n)
+	live := ws.Bools(w, n)
 	pred := predPar(m, l)
 	m.ParFor(n, func(v int) { live[v] = l.Next[v] != list.Nil })
-	coin := make([]bool, n)
+	coin := ws.Bools(w, n)
 	rng := rand.New(rand.NewSource(seed))
 	rounds := 0
 	for {
@@ -169,7 +171,7 @@ func Randomized(m *pram.Machine, l *list.List, seed int64) ([]bool, int) {
 			coin[v] = live[v] && rng.Intn(2) == 1
 		}
 		m.Charge(int64((n+m.Processors()-1)/m.Processors()), int64(n))
-		sel := make([]bool, n)
+		sel := ws.Bools(w, n)
 		m.ParFor(n, func(v int) {
 			if !live[v] || !coin[v] {
 				return
@@ -230,7 +232,7 @@ func chargeEvaluatorReplication(m *pram.Machine, e *partition.Evaluator) {
 // predPar computes predecessor pointers with one EREW round.
 func predPar(m *pram.Machine, l *list.List) []int {
 	n := l.Len()
-	pred := make([]int, n)
+	pred := ws.IntsNoZero(m.Workspace(), n) // first round writes every cell
 	m.ParFor(n, func(v int) { pred[v] = list.Nil })
 	m.ParFor(n, func(v int) {
 		if s := l.Next[v]; s != list.Nil {

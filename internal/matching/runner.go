@@ -1,0 +1,274 @@
+package matching
+
+import (
+	"fmt"
+
+	"parlist/internal/list"
+	"parlist/internal/partition"
+	"parlist/internal/pram"
+	"parlist/internal/sortint"
+	"parlist/internal/ws"
+)
+
+// Runner is a reusable, steady-state allocation-free executor for
+// Match4's default configuration (iterated partition, direct evaluator,
+// column-major layout, direct admission). It exists for the engine's hot
+// request path: Match4 itself builds a fresh closure for every PRAM
+// round it issues, and those closures escape to the heap because the
+// dispatcher retains them. A Runner binds every round body once, at
+// construction, to closures that read the Runner's fields; per Run the
+// only state that changes is the fields, so a warm machine + workspace
+// pair executes an entire maximal matching without heap allocation.
+//
+// The round/phase sequence is a mirror of Match4's, charged through the
+// same primitives in the same order, so Stats are bit-identical to
+// Match4(m, l, nil, Match4Config{I: iters}) — a property the parity
+// tests assert. Output and scratch live in the machine's workspace:
+// Result.In is only valid until the workspace is next reset.
+//
+// A Runner is not safe for concurrent use; the engine serializes
+// requests onto it.
+type Runner struct {
+	m     *pram.Machine
+	iters int
+
+	e      *partition.Evaluator
+	eWidth int
+
+	// Per-request bindings read by the bound closures.
+	l    *list.List
+	n    int
+	x, y int
+
+	lab, aux, out []int // partition label + double buffers
+
+	cellNode, rowOf                    []int
+	keyBuf, nodeBuf, permBuf, countBuf []int
+	sortedBuf, sortedOff               []int
+	pred                               []int
+	in, used                           []bool
+	states                             []walkState
+	row                                int // current WalkDown1 row
+
+	// Round bodies and batch groups, bound once.
+	copyF, applyF        func(int)
+	partitionBatchF      func(*pram.Batch)
+	sortF                func(int)
+	predInitF, predSetF  func(int)
+	wd1F, wd2F           func(int)
+	wd1BatchF, wd2BatchF func(*pram.Batch)
+}
+
+// NewRunner returns a Runner bound to m that computes maximal matchings
+// equivalent to Match4 with parameter i = iters.
+func NewRunner(m *pram.Machine, iters int) (*Runner, error) {
+	if iters < 1 {
+		return nil, fmt.Errorf("matching: Runner parameter i must be ≥ 1, got %d", iters)
+	}
+	r := &Runner{m: m, iters: iters}
+
+	// Partition rounds (stepOn's EREW pair, reading fields so the
+	// double-buffer swap between rounds is visible).
+	r.copyF = func(v int) { r.aux[v] = r.lab[v] }
+	r.applyF = func(v int) {
+		s := r.l.Next[v]
+		if s == list.Nil {
+			s = r.l.Head
+		}
+		r.out[v] = r.e.Apply(r.lab[v], r.aux[s])
+	}
+	r.partitionBatchF = func(b *pram.Batch) {
+		for i := 0; i < r.iters; i++ {
+			b.ParFor(r.n, r.copyF)
+			b.ParFor(r.n, r.applyF)
+			r.lab, r.out = r.out, r.lab
+		}
+	}
+
+	// Step 2: one column's counting sort (match4Finish's sort body over
+	// the flat scratch).
+	r.sortF = func(c int) {
+		x := r.x
+		ln := r.colLen(c)
+		keys := r.keyBuf[c*x : c*x+ln]
+		nodes := r.nodeBuf[c*x : c*x+ln]
+		for j := 0; j < ln; j++ {
+			v := c*x + j
+			nodes[j] = v
+			keys[j] = r.lab[v]
+		}
+		perm := sortint.SequentialByKeyInto(keys, x, r.permBuf[c*x:(c+1)*x], r.countBuf[c*(x+1):(c+1)*(x+1)])
+		sorted := r.sortedBuf[r.sortedOff[c]:r.sortedOff[c+1]]
+		for j := 0; j < ln; j++ {
+			v := nodes[perm[j]]
+			r.cellNode[c*x+j] = v
+			r.rowOf[v] = j
+			sorted[j] = keys[perm[j]]
+		}
+	}
+
+	// predPar's two rounds.
+	r.predInitF = func(v int) { r.pred[v] = list.Nil }
+	r.predSetF = func(v int) {
+		if s := r.l.Next[v]; s != list.Nil {
+			r.pred[s] = v
+		}
+	}
+
+	// Step 3: WalkDown1 over inter-row pointers at the current row.
+	r.wd1F = func(c int) {
+		if r.row >= r.colLen(c) {
+			return
+		}
+		v := r.cellNode[c*r.x+r.row]
+		s := r.l.Next[v]
+		if s == list.Nil || r.rowOf[v] == r.rowOf[s] {
+			return
+		}
+		r.admit(v, s)
+	}
+	r.wd1BatchF = func(b *pram.Batch) {
+		for r.row = 0; r.row < r.x; r.row++ {
+			b.ParFor(r.y, r.wd1F)
+		}
+	}
+
+	// Step 4: WalkDown2 automaton step over intra-row pointers.
+	r.wd2F = func(c int) {
+		a := r.sortedBuf[r.sortedOff[c]:r.sortedOff[c+1]]
+		row := r.states[c].advance(a, len(a))
+		if row < 0 {
+			return
+		}
+		v := r.cellNode[c*r.x+row]
+		s := r.l.Next[v]
+		if s == list.Nil || r.rowOf[v] != r.rowOf[s] {
+			return
+		}
+		r.admit(v, s)
+	}
+	r.wd2BatchF = func(b *pram.Batch) {
+		for step := 0; step <= 2*r.x-2; step++ {
+			b.ParFor(r.y, r.wd2F)
+		}
+	}
+	return r, nil
+}
+
+// colLen is match4Finish's column height in the column-major layout.
+func (r *Runner) colLen(c int) int {
+	lo := c * r.x
+	hi := lo + r.x
+	if hi > r.n {
+		hi = r.n
+	}
+	return hi - lo
+}
+
+// admit is the direct-admission process(v): safe because the WalkDown
+// schedule never processes adjacent pointers in the same step.
+func (r *Runner) admit(v, s int) {
+	if !r.used[v] && !r.used[s] {
+		r.used[v] = true
+		r.used[s] = true
+		r.in[v] = true
+	}
+}
+
+// Machine returns the machine the runner dispatches on.
+func (r *Runner) Machine() *pram.Machine { return r.m }
+
+// Run computes a maximal matching of l into res. res.In aliases the
+// machine's workspace (valid until the next workspace reset); callers
+// that retain the matching must copy it. The machine is NOT reset here —
+// the caller owns Reset/workspace lifecycle, exactly as with Match4.
+func (r *Runner) Run(l *list.List, res *Result) error {
+	if l == nil {
+		return fmt.Errorf("matching: Runner.Run with nil list")
+	}
+	m := r.m
+	w := m.Workspace()
+	n := l.Len()
+	r.l = l
+	r.n = n
+
+	res.Algorithm = "match4"
+	res.Rounds = 0
+	res.Sets = 0
+	res.Size = 0
+	res.TableSize = 0
+	if n < 2 {
+		res.In = ws.Bools(w, n)
+		m.SnapshotInto(&res.Stats)
+		return nil
+	}
+	if wd := width(n); r.e == nil || r.eWidth != wd {
+		r.e = partition.NewEvaluator(partition.MSB, wd)
+		r.eWidth = wd
+	}
+	// chargeEvaluatorReplication: nothing to replicate for a direct
+	// evaluator — no charge, matching Match4.
+
+	// Step 1 (Lemma 3): iterated partition, fused.
+	m.Phase("partition")
+	r.lab = ws.IntsNoZero(w, n)
+	for i := range r.lab {
+		r.lab[i] = i // Match1 step 1: label[v] := address of v
+	}
+	r.aux = ws.IntsNoZero(w, n)
+	r.out = ws.IntsNoZero(w, n)
+	m.Batch(r.partitionBatchF)
+	K := partition.RangeAfter(n, r.iters)
+	x := K
+	if x < 2 {
+		x = 2
+	}
+	r.x = x
+	r.y = (n + x - 1) / x
+	y := r.y
+
+	// Step 2: per-column counting sorts.
+	m.Phase("column-sort")
+	r.cellNode = ws.IntsNoZero(w, n)
+	r.rowOf = ws.IntsNoZero(w, n)
+	r.keyBuf = ws.IntsNoZero(w, y*x)
+	r.nodeBuf = ws.IntsNoZero(w, y*x)
+	r.permBuf = ws.IntsNoZero(w, y*x)
+	r.countBuf = ws.IntsNoZero(w, y*(x+1))
+	r.sortedBuf = ws.IntsNoZero(w, n)
+	r.sortedOff = ws.IntsNoZero(w, y+1)
+	r.sortedOff[0] = 0
+	for c := 0; c < y; c++ {
+		r.sortedOff[c+1] = r.sortedOff[c] + r.colLen(c)
+	}
+	m.ParForCost(y, int64(4*x+4), r.sortF)
+
+	r.pred = ws.IntsNoZero(w, n)
+	m.ParFor(n, r.predInitF)
+	m.ParFor(n, r.predSetF)
+
+	r.in = ws.Bools(w, n)
+	r.used = ws.Bools(w, n)
+
+	// Step 3: WalkDown1 (Lemma 6), fused.
+	m.Phase("walkdown1")
+	m.Batch(r.wd1BatchF)
+
+	// Step 4: WalkDown2 (Lemma 7), fused. The automaton states are the
+	// one scratch the workspace cannot serve (struct-typed); the slice
+	// persists on the Runner and is re-zeroed in place.
+	m.Phase("walkdown2")
+	if cap(r.states) < y {
+		r.states = make([]walkState, y)
+	}
+	r.states = r.states[:y]
+	clear(r.states)
+	m.Batch(r.wd2BatchF)
+
+	res.In = r.in
+	res.Size = Count(r.in)
+	res.Sets = K
+	res.Rounds = r.iters
+	m.SnapshotInto(&res.Stats)
+	return nil
+}

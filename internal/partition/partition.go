@@ -22,6 +22,7 @@ import (
 	"parlist/internal/bits"
 	"parlist/internal/list"
 	"parlist/internal/pram"
+	"parlist/internal/ws"
 )
 
 // Variant selects which differing bit f extracts.
@@ -309,13 +310,20 @@ func Iterate(m *pram.Machine, l *list.List, e *Evaluator, k int) []int {
 // applications (and the aux-copy rounds EREW inserts) run as one fused
 // dispatch group on the pooled executor.
 func IterateWith(m *pram.Machine, l *list.List, e *Evaluator, k int, d Discipline) []int {
-	lab := InitialLabels(l)
 	n := l.Len()
+	w := m.Workspace()
+	// Label and double buffers come from the machine's workspace when
+	// one is attached; every cell is written before it is read (lab by
+	// the address init, aux by the copy round, out by the apply round).
+	lab := ws.IntsNoZero(w, n)
+	for i := range lab {
+		lab[i] = i // Match1 step 1: label[v] := address of v
+	}
 	var aux []int
 	if d == DisciplineEREW {
-		aux = make([]int, n)
+		aux = ws.IntsNoZero(w, n)
 	}
-	out := make([]int, n)
+	out := ws.IntsNoZero(w, n)
 	m.Batch(func(b *pram.Batch) {
 		for i := 0; i < k; i++ {
 			out = stepOn(b, l, e, d, lab, aux, out)

@@ -45,7 +45,8 @@ func (m *Machine) Batch(f func(b *Batch)) {
 			}
 		}()
 	}
-	f(&Batch{m: m})
+	m.batch.m = m
+	f(&m.batch)
 }
 
 // Machine returns the machine the batch dispatches on.

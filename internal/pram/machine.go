@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"parlist/internal/ws"
 )
 
 // Model identifies a PRAM memory-access model.
@@ -151,6 +153,14 @@ type Machine struct {
 	fused    bool
 	faults   *FaultPlan
 	watchdog time.Duration
+
+	// workspace is the optional scratch arena (nil outside an engine):
+	// algorithms draw per-run buffers from it via ws.Ints/ws.Bools, and
+	// the owning engine resets it between requests. batch is the reused
+	// Batch handle Machine.Batch hands to fused groups, so opening a
+	// batch performs no allocation on the steady-state request path.
+	workspace *ws.Workspace
+	batch     Batch
 }
 
 type resetter interface{ beginRound(base int64) }
@@ -169,6 +179,17 @@ func WithWorkers(w int) Option {
 			m.workers = w
 		}
 	}
+}
+
+// WithWorkspace attaches a scratch arena to the machine. Algorithms
+// fetch it with Workspace() and acquire per-run buffers from it instead
+// of allocating; with no workspace attached (the default) they fall
+// back to make, so plain library use is unaffected. The caller that
+// attaches a workspace owns its lifecycle: it must Reset it between
+// runs and must not reset it while a run is in flight. The engine is
+// the only attacher in this repository.
+func WithWorkspace(w *ws.Workspace) Option {
+	return func(m *Machine) { m.workspace = w }
 }
 
 // New creates a machine with p simulated processors. p must be ≥ 1.
@@ -222,6 +243,19 @@ func (m *Machine) Close() {
 // Processors returns the simulated processor count p.
 func (m *Machine) Processors() int { return m.p }
 
+// Workspace returns the attached scratch arena, or nil. The ws package
+// helpers treat nil as "allocate with make".
+func (m *Machine) Workspace() *ws.Workspace { return m.workspace }
+
+// Degraded reports whether a Pooled machine has lost its persistent
+// workers (a recovered WorkerPanic or BarrierStall tore the pool down,
+// or Close was called) and now executes rounds inline. Long-lived
+// owners use this to decide to rebuild the machine rather than serve
+// follow-up requests degraded.
+func (m *Machine) Degraded() bool {
+	return m.exec == Pooled && m.workers > 1 && m.pool == nil
+}
+
 // Executor returns the configured executor.
 func (m *Machine) Executor() Exec { return m.exec }
 
@@ -245,10 +279,35 @@ func (m *Machine) Reset() {
 	}
 	m.time, m.work, m.round, m.vtime = 0, 0, 0, 0
 	m.vproc = 0
-	m.phases = []PhaseStat{{Name: "init"}}
+	// Reuse the phases backing array: a reused machine's second and
+	// later runs must not allocate here (the engine's zero-alloc
+	// steady-state contract), and a request records the same phase
+	// sequence as its predecessor at fixed workload, so capacity
+	// stabilizes after the first run.
+	m.phases = append(m.phases[:0], PhaseStat{Name: "init"})
 	m.curPhase = 0
 	for _, c := range m.checked {
 		c.beginRound(0)
+	}
+}
+
+// SetFaults replaces the machine's fault-injection plan for subsequent
+// rounds and rewinds the pooled executor's dispatch-round counter to
+// zero. The rewind is what makes fault plans compose with machine
+// reuse: a plan's (round, worker) coordinates are meant to be relative
+// to the request it is installed for, so installing it per request must
+// not leave the plan aimed at round numbers the previous requests
+// already consumed — without the rewind a plan targeting round 3 would
+// fire on the first request and never again. Pass nil to clear.
+// Panics inside an open Batch for the same reason Reset does.
+func (m *Machine) SetFaults(plan *FaultPlan) {
+	if m.fused {
+		panic("pram: SetFaults inside an open Batch")
+	}
+	m.faults = plan
+	if m.pool != nil {
+		m.pool.faults = plan
+		m.pool.rounds = 0
 	}
 }
 
@@ -274,6 +333,30 @@ func (m *Machine) Snapshot() Stats {
 		Work:       m.work,
 		Phases:     ph,
 		Notes:      append([]string(nil), m.notes...),
+	}
+}
+
+// SnapshotInto fills st with the machine's accounting, reusing st's
+// Phases capacity — the allocation-free Snapshot for the engine's
+// steady-state request path. The resulting Stats are value-identical
+// to Snapshot's (tests assert this).
+func (m *Machine) SnapshotInto(st *Stats) {
+	st.Processors = m.p
+	st.Time = m.time
+	st.Work = m.work
+	if st.Phases == nil {
+		st.Phases = make([]PhaseStat, 0, len(m.phases))
+	}
+	st.Phases = st.Phases[:0]
+	for _, p := range m.phases {
+		if p.Time != 0 || p.Work != 0 {
+			st.Phases = append(st.Phases, p)
+		}
+	}
+	if len(m.notes) == 0 {
+		st.Notes = nil
+	} else {
+		st.Notes = append(st.Notes[:0], m.notes...)
 	}
 }
 

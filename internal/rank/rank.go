@@ -19,6 +19,7 @@ import (
 	"parlist/internal/matching"
 	"parlist/internal/pram"
 	"parlist/internal/scan"
+	"parlist/internal/ws"
 )
 
 // Wyllie computes suffix sums by pointer jumping: O(log n) rounds of
@@ -28,10 +29,13 @@ import (
 // suffix sums and the number of rounds.
 func Wyllie(m *pram.Machine, l *list.List, vals []int) ([]int, int) {
 	n := l.Len()
-	s := make([]int, n)
-	nxt := make([]int, n)
-	auxS := make([]int, n)
-	auxN := make([]int, n)
+	w := m.Workspace()
+	// All four buffers are fully written before their first read (the
+	// init round seeds s and nxt; the copy rounds seed the aux pair).
+	s := ws.IntsNoZero(w, n)
+	nxt := ws.IntsNoZero(w, n)
+	auxS := ws.IntsNoZero(w, n)
+	auxN := ws.IntsNoZero(w, n)
 	rounds := 0
 	// The whole jump loop is one fused group: Θ(log n) consecutive
 	// rounds over the same index range, dispatched to the pool with a
@@ -140,16 +144,24 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 	thr := cfg.threshold()
 	stats := ContractStats{MinShrink: 1}
 
+	w := m.Workspace()
+
 	// Working copy in original ids.
-	nxt := make([]int, n)
-	val := make([]int, n)
+	nxt := ws.IntsNoZero(w, n) // init round writes every cell
+	val := ws.IntsNoZero(w, n)
 	m.ParFor(n, func(v int) { nxt[v] = l.Next[v]; val[v] = vals[v] })
 
-	active := make([]int, n) // original ids of live nodes
+	active := ws.IntsNoZero(w, n) // original ids of live nodes
 	for i := range active {
 		active[i] = i
 	}
 	head := l.Head
+
+	// idx is hoisted out of the contraction loop: it is sparse scratch
+	// (only active entries are meaningful, and each round rewrites its
+	// own active entries before reading them), so one n-sized buffer
+	// serves every round instead of binding a fresh one per round.
+	idx := ws.IntsNoZero(w, n)
 
 	var rounds [][]spliceRecord
 	for len(active) > thr {
@@ -157,9 +169,8 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 		// Compact the live sublist into addresses [0, cnt): the matching
 		// partition functions need distinct small addresses. idx maps
 		// original → compact.
-		idx := make([]int, n) // sparse; only active entries meaningful
 		m.ParFor(cnt, func(i int) { idx[active[i]] = i })
-		cnext := make([]int, cnt)
+		cnext := ws.IntsNoZero(w, cnt)
 		m.ParFor(cnt, func(i int) {
 			w := nxt[active[i]]
 			if w == list.Nil {

@@ -9,7 +9,10 @@
 // rank uses Compact for the contraction scheme's survivor lists.
 package scan
 
-import "parlist/internal/pram"
+import (
+	"parlist/internal/pram"
+	"parlist/internal/ws"
+)
 
 // Op is an associative binary operation with identity id.
 type Op struct {
@@ -48,14 +51,18 @@ const (
 // sweeps (⌈n/p⌉ steps).
 func Exclusive(m *pram.Machine, a []int, op Op) (out []int, total int) {
 	n := len(a)
-	out = make([]int, n)
+	w := m.Workspace()
 	if n == 0 {
-		return out, op.Identity
+		return make([]int, 0), op.Identity
 	}
+	// Scratch (and the returned scan itself, which callers treat as
+	// request-scoped) comes from the machine's workspace when one is
+	// attached; every cell is overwritten before it is read.
+	out = ws.IntsNoZero(w, n)
 	p := m.Processors()
 	c := (n + p - 1) / p
 
-	sums := make([]int, p)
+	sums := ws.IntsNoZero(w, p)
 	m.ProcRun(int64(c), func(q int) {
 		lo, hi := q*c, (q+1)*c
 		if hi > n {
@@ -68,8 +75,8 @@ func Exclusive(m *pram.Machine, a []int, op Op) (out []int, total int) {
 		sums[q] = s
 	})
 
-	pre := make([]int, p)
-	buf := make([]int, p)
+	pre := ws.IntsNoZero(w, p)
+	buf := ws.IntsNoZero(w, p)
 	m.ProcFor(func(q int) { pre[q] = sums[q] })
 	for d := 1; d < p; d *= 2 {
 		m.ProcFor(func(q int) {
@@ -121,7 +128,7 @@ func Reduce(m *pram.Machine, a []int, op Op) int {
 func Compact(m *pram.Machine, keep []bool, ind []int) []int {
 	n := len(keep)
 	if ind == nil {
-		ind = make([]int, n)
+		ind = ws.IntsNoZero(m.Workspace(), n)
 	}
 	m.ParFor(n, func(i int) {
 		if keep[i] {
@@ -131,7 +138,7 @@ func Compact(m *pram.Machine, keep []bool, ind []int) []int {
 		}
 	})
 	pos, total := Exclusive(m, ind, Add)
-	out := make([]int, total)
+	out := ws.IntsNoZero(m.Workspace(), total)
 	m.ParFor(n, func(i int) {
 		if keep[i] {
 			out[pos[i]] = i

@@ -17,6 +17,7 @@ import (
 
 	"parlist/internal/pram"
 	"parlist/internal/scan"
+	"parlist/internal/ws"
 )
 
 // SequentialByKey stable-sorts the indices of keys by key value using a
@@ -99,16 +100,20 @@ func PrefixSum(m *pram.Machine, a []int) (out []int, total int) {
 // O(n/p + K + log p) time, O(n + K·p) work.
 func ParallelByKey(m *pram.Machine, keys []int, K int) []int {
 	n := len(keys)
-	perm := make([]int, n)
 	if n == 0 {
-		return perm
+		return make([]int, 0)
 	}
+	w := m.Workspace()
+	// Every cell of perm, count and mat is written before it is read
+	// (the first ProcRun zeroes the counters), so all three can come
+	// uncleared from the workspace.
+	perm := ws.IntsNoZero(w, n)
 	p := m.Processors()
 	c := (n + p - 1) / p
 
 	// Per-processor counting over its chunk: K+n/p… each processor zeroes
 	// its K counters then counts its chunk: K + ⌈n/p⌉ steps.
-	count := make([]int, p*K)
+	count := ws.IntsNoZero(w, p*K)
 	m.ProcRun(int64(K), func(q int) {
 		base := q * K
 		for k := 0; k < K; k++ {
@@ -132,7 +137,7 @@ func ParallelByKey(m *pram.Machine, keys []int, K int) []int {
 	// Global stable ranks: item (key k, chunk q) starts at the exclusive
 	// prefix of the key-major matrix M[k][q] = count[q*K+k]. Transpose
 	// into key-major order, scan, and scatter.
-	mat := make([]int, K*p)
+	mat := ws.IntsNoZero(w, K*p)
 	m.ParFor(K*p, func(i int) {
 		k, q := i/p, i%p
 		mat[i] = count[q*K+k]

@@ -1,0 +1,135 @@
+package ws
+
+import "testing"
+
+func TestBucketOf(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := bucketOf(n); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReuseAcrossResets(t *testing.T) {
+	w := New()
+	a := w.Ints(100)
+	if len(a) != 100 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		a[i] = i + 1
+	}
+	w.Reset()
+	b := w.Ints(100)
+	if &a[0] != &b[0] {
+		t.Fatal("second epoch did not reuse the first epoch's buffer")
+	}
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("Ints returned dirty cell %d = %d after reuse", i, v)
+		}
+	}
+	st := w.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 gets / 1 hit / 1 miss", st)
+	}
+}
+
+func TestDistinctBuffersWithinEpoch(t *testing.T) {
+	w := New()
+	a := w.Ints(64)
+	b := w.Ints(64)
+	if &a[0] == &b[0] {
+		t.Fatal("two acquisitions in one epoch aliased")
+	}
+	c := w.Bools(64)
+	c[0] = true
+	w.Reset()
+	d := w.Bools(64)
+	if d[0] {
+		t.Fatal("Bools returned dirty buffer after reuse")
+	}
+}
+
+func TestNoZeroSkipsClearButReusesBuffer(t *testing.T) {
+	w := New()
+	a := w.IntsNoZero(32)
+	for i := range a {
+		a[i] = 7
+	}
+	w.Reset()
+	b := w.IntsNoZero(32)
+	if &a[0] != &b[0] {
+		t.Fatal("IntsNoZero did not reuse")
+	}
+}
+
+func TestShorterLengthSameBucket(t *testing.T) {
+	w := New()
+	a := w.Ints(100) // bucket 7, cap 128
+	w.Reset()
+	b := w.Ints(70) // same bucket
+	if len(b) != 70 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if &a[0] != &b[0] {
+		t.Fatal("same-bucket smaller request did not reuse")
+	}
+	if w.Stats().Misses != 1 {
+		t.Fatalf("misses = %d, want 1", w.Stats().Misses)
+	}
+}
+
+func TestZeroLength(t *testing.T) {
+	w := New()
+	if s := w.Ints(0); s != nil {
+		t.Fatalf("Ints(0) = %v, want nil", s)
+	}
+	if s := w.Bools(0); s != nil {
+		t.Fatalf("Bools(0) = %v, want nil", s)
+	}
+}
+
+func TestNilWorkspaceHelpersFallBackToMake(t *testing.T) {
+	a := Ints(nil, 10)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	b := Bools(nil, 10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d", len(b))
+	}
+	c := IntsNoZero(nil, 10)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatal("nil-workspace IntsNoZero must still be zeroed (it is a fresh make)")
+		}
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	w := New()
+	run := func() {
+		_ = w.Ints(1 << 10)
+		_ = w.IntsNoZero(1 << 12)
+		_ = w.Bools(1 << 10)
+		_ = w.Ints(1 << 10)
+		w.Reset()
+	}
+	run() // warm the free lists
+	if avg := testing.AllocsPerRun(50, run); avg != 0 {
+		t.Fatalf("steady-state allocs/op = %v, want 0", avg)
+	}
+}
+
+func TestFreeListCap(t *testing.T) {
+	w := New()
+	for i := 0; i < 2*maxFreePerBucket; i++ {
+		_ = w.Ints(64)
+	}
+	w.Reset()
+	if got := len(w.ints.free[bucketOf(64)]); got != maxFreePerBucket {
+		t.Fatalf("free list length %d, want cap %d", got, maxFreePerBucket)
+	}
+}

@@ -71,6 +71,39 @@ const (
 	Randomized = core.AlgoRandomized
 )
 
+// Typed validation errors (test with errors.Is).
+var (
+	ErrNilList           = core.ErrNilList
+	ErrBadProcessors     = core.ErrBadProcessors
+	ErrUnknownAlgorithm  = core.ErrUnknownAlgorithm
+	ErrUnknownRankScheme = core.ErrUnknownRankScheme
+)
+
+// Engine is a reusable session: one warm simulated machine (with its
+// persistent worker pool) plus a scratch arena recycled across
+// requests, so repeated calls at a fixed size run without heap
+// allocation. Safe for concurrent use — requests serialize onto the
+// machine. Construct with NewEngine, release with Close:
+//
+//	eng := parlist.NewEngine(parlist.EngineConfig{Processors: 1024})
+//	defer eng.Close()
+//	for _, l := range lists {
+//	    res, err := eng.MaximalMatching(l, parlist.Options{})
+//	    ...
+//	}
+type Engine = core.Engine
+
+// EngineConfig shapes a dedicated engine (default processor count,
+// executor, real worker cap, watchdog, tracer).
+type EngineConfig = core.EngineConfig
+
+// EngineStats are an engine's cumulative counters: requests served,
+// failures, machine rebuilds, simulated time/work, arena hit rates.
+type EngineStats = core.EngineStats
+
+// NewEngine returns a dedicated engine with a warm machine + workspace.
+func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
+
 // RankScheme selects a list-ranking algorithm for Options.Rank.
 type RankScheme = core.RankScheme
 
