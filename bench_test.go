@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"parlist/internal/bits"
 	"parlist/internal/color"
@@ -531,6 +532,51 @@ func BenchmarkEngineReuse(b *testing.B) {
 				if _, err := eng.MaximalMatching(l, Options{}); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolThroughput drives an EnginePool closed-loop with one
+// submitting goroutine per GOMAXPROCS slot and reports requests per
+// second at fixed n for 1, 2 and 4 engines. On a multi-core host the
+// req/s figure scales with the engine count; on the 1-CPU bench host
+// wall-clock scaling is unobservable, so allocs/op and queue-wait are
+// the stable metrics (see CHANGES.md PR 1 note).
+func BenchmarkPoolThroughput(b *testing.B) {
+	ctx := context.Background()
+	const n = 1 << 12
+	l := RandomList(n, benchSeed)
+	for _, engines := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("pool_engines=%d", engines), func(b *testing.B) {
+			p := engine.NewPool(engine.PoolConfig{
+				Engines:    engines,
+				QueueDepth: 64,
+				Engine:     engine.Config{Processors: 512},
+			})
+			defer p.Close()
+			req := engine.Request{List: l}
+			if _, err := p.Do(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := p.Do(ctx, req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			elapsed := time.Since(start)
+			b.StopTimer()
+			if elapsed > 0 {
+				b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+			}
+			st := p.Stats()
+			if st.Requests > 0 {
+				b.ReportMetric(float64(st.QueueWait.Nanoseconds())/float64(st.Requests), "queue-wait-ns")
 			}
 		})
 	}

@@ -24,6 +24,12 @@
 // the old one-machine-per-call pattern for contrast. These rows also
 // report requests/sec.
 //
+// The pool-throughput entries drive an EnginePool closed-loop at fixed n
+// with GOMAXPROCS submitters and report requests_per_sec and p99_ns for
+// pool_engines = 1, 2, 4. On a multi-core host requests_per_sec scales
+// with the engine count; on the 1-CPU bench host allocs/op and queue
+// wait are the stable metrics (see CHANGES.md PR 1 note).
+//
 // Exit status: 0 on success, 1 on a runtime failure, 2 on a usage error.
 package main
 
@@ -35,6 +41,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -59,6 +67,7 @@ type Entry struct {
 	Efficiency       float64 `json:"efficiency,omitempty"`
 	DispatchOverhead float64 `json:"dispatch_overhead_ns,omitempty"`
 	RequestsPerSec   float64 `json:"requests_per_sec,omitempty"`
+	P99Ns            float64 `json:"p99_ns,omitempty"`
 }
 
 // Report is the emitted document.
@@ -243,6 +252,65 @@ func run(args []string, stdout *os.File) error {
 		if runErr != nil {
 			return runErr
 		}
+	}
+
+	// Pool throughput: an EnginePool under closed-loop load at fixed n.
+	// GOMAXPROCS submitters issue Do back-to-back; per-request wall
+	// latency feeds the p99 column. Same-size traffic means every
+	// request shares one size class, so the affinity/spill path — not
+	// the hash spread — is what scales here.
+	lp := list.RandomList(nEng, seed)
+	for _, ne := range []int{1, 2, 4} {
+		pool := engine.NewPool(engine.PoolConfig{
+			Engines:    ne,
+			QueueDepth: 64,
+			Engine:     engine.Config{Processors: 512},
+		})
+		preq := engine.Request{List: lp}
+		if _, err := pool.Do(ctx, preq); err != nil {
+			pool.Close()
+			return fmt.Errorf("pool warm-up: %w", err)
+		}
+		var mu sync.Mutex
+		var lats []time.Duration
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				local := make([]time.Duration, 0, 64)
+				for pb.Next() {
+					t0 := time.Now()
+					if _, err := pool.Do(ctx, preq); err != nil {
+						runErr = fmt.Errorf("pool-throughput: %w", err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				lats = append(lats, local...)
+				mu.Unlock()
+			})
+		})
+		pool.Close()
+		if runErr != nil {
+			return runErr
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		e := Entry{
+			Name:        fmt.Sprintf("pool-throughput/pool_engines=%d", ne),
+			N:           nEng,
+			P:           512,
+			Iters:       r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		if len(lats) > 0 {
+			e.P99Ns = float64(lats[int(0.99*float64(len(lats)-1))].Nanoseconds())
+		}
+		fmt.Fprintf(stdout, "%-40s %12.0f ns/op %8d allocs/op %12.0f req/s %10.0f p99-ns\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.RequestsPerSec, e.P99Ns)
+		rep.Benches = append(rep.Benches, e)
 	}
 
 	// Executor dispatch overhead: an empty round, machine reused across

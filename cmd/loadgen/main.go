@@ -1,0 +1,250 @@
+// Command loadgen drives an EnginePool with synthetic request traffic
+// and reports throughput and latency percentiles. Two modes:
+//
+//   - closed loop (default): -conc workers each issue requests
+//     back-to-back via Do, sweeping the comma-separated concurrency
+//     levels and printing req/s, p50/p99 latency and queue-wait per
+//     level;
+//   - open loop (-qps > 0): one paced submitter targets the given
+//     request rate via non-blocking Submit, so overload shows up as
+//     ErrQueueFull drops instead of coordinated-omission-masked
+//     latency.
+//
+// Usage:
+//
+//	loadgen -n 4096 -p 256 -engines 4 -conc 1,2,4,8 -requests 256
+//	loadgen -n 4096,300 -engines 2 -qps 500 -requests 1000
+//	loadgen -smoke                       # tiny CI smoke run
+//
+// Exit status: 0 on success, 1 on a runtime failure (including any
+// request returning a wrong-shaped result), 2 on a usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parlist/internal/engine"
+	"parlist/internal/list"
+)
+
+// usageError marks failures caused by bad invocation rather than by the
+// computation; they exit with status 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s, flagName string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, usagef("-%s wants comma-separated positive integers (got %q)", flagName, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// percentile returns the q-quantile (0 ≤ q ≤ 1) of sorted durations.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	nFlag := fs.String("n", "4096", "list size(s), comma-separated; requests cycle through them")
+	p := fs.Int("p", 256, "simulated PRAM processors")
+	enginesN := fs.Int("engines", 2, "engines in the pool")
+	concFlag := fs.String("conc", "1,2,4", "closed-loop concurrency sweep, comma-separated")
+	requests := fs.Int("requests", 128, "requests per sweep level (total in -qps mode)")
+	qps := fs.Float64("qps", 0, "open-loop target request rate; 0 = closed loop")
+	queueDepth := fs.Int("queue", 32, "per-engine admission queue depth")
+	cache := fs.Int("cache", 0, "result-cache entries (0 = no cache)")
+	seed := fs.Int64("seed", 1, "list generator seed")
+	smoke := fs.Bool("smoke", false, "tiny fixed run for CI smoke tests")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *smoke {
+		*nFlag, *concFlag = "1024,300", "1,2"
+		*enginesN, *requests, *p, *qps = 2, 16, 64, 0
+	}
+	sizes, err := parseInts(*nFlag, "n")
+	if err != nil {
+		return err
+	}
+	concs, err := parseInts(*concFlag, "conc")
+	if err != nil {
+		return err
+	}
+	if *p < 1 {
+		return usagef("-p must be >= 1 (got %d)", *p)
+	}
+	if *enginesN < 1 {
+		return usagef("-engines must be >= 1 (got %d)", *enginesN)
+	}
+	if *requests < 1 {
+		return usagef("-requests must be >= 1 (got %d)", *requests)
+	}
+
+	lists := make([]*list.List, len(sizes))
+	for i, n := range sizes {
+		lists[i] = list.RandomList(n, *seed)
+	}
+
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines:    *enginesN,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cache,
+		Engine:     engine.Config{Processors: *p},
+	})
+	defer pool.Close()
+
+	fmt.Fprintf(out, "loadgen: engines=%d queue=%d cache=%d p=%d sizes=%v\n",
+		*enginesN, *queueDepth, *cache, *p, sizes)
+
+	if *qps > 0 {
+		return openLoop(out, pool, lists, *requests, *qps)
+	}
+	for _, conc := range concs {
+		if err := closedLoop(out, pool, lists, conc, *requests); err != nil {
+			return err
+		}
+	}
+	st := pool.Stats()
+	fmt.Fprintf(out, "pool totals: requests=%d failures=%d rejected=%d cache-hits=%d\n",
+		st.Requests, st.Failures, st.Rejected, st.CacheHits)
+	for _, e := range st.PerEngine {
+		fmt.Fprintf(out, "  engine served=%d rebuilds=%d arena %d/%d hits\n",
+			e.Served, e.Stats.Rebuilds, e.Stats.Arena.Hits, e.Stats.Arena.Gets)
+	}
+	return nil
+}
+
+// closedLoop runs conc workers issuing requests back-to-back and prints
+// one sweep row.
+func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests int) error {
+	ctx := context.Background()
+	per := requests / conc
+	if per < 1 {
+		per = 1
+	}
+	total := per * conc
+	lat := make([][]time.Duration, conc)
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat[w] = make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				l := lists[(w*per+i)%len(lists)]
+				t0 := time.Now()
+				res, err := pool.Do(ctx, engine.Request{List: l})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(res.In) != l.Len() {
+					errs[w] = fmt.Errorf("short result: %d in-flags for n=%d", len(res.In), l.Len())
+					return
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var all []time.Duration
+	for _, ls := range lat {
+		all = append(all, ls...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st := pool.Stats()
+	var avgWait time.Duration
+	if st.Requests > 0 {
+		avgWait = st.QueueWait / time.Duration(st.Requests)
+	}
+	fmt.Fprintf(out, "conc=%-3d requests=%-5d req/s=%-9.1f p50=%-10v p99=%-10v avg-queue-wait=%v\n",
+		conc, total, float64(total)/elapsed.Seconds(),
+		percentile(all, 0.50), percentile(all, 0.99), avgWait)
+	return nil
+}
+
+// openLoop paces Submit at the target rate; overload surfaces as
+// ErrQueueFull drops rather than queueing delay.
+func openLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, requests int, qps float64) error {
+	ctx := context.Background()
+	interval := time.Duration(float64(time.Second) / qps)
+	futures := make([]*engine.Future, 0, requests)
+	drops := 0
+	start := time.Now()
+	next := start
+	for i := 0; i < requests; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		f, err := pool.Submit(ctx, engine.Request{List: lists[i%len(lists)]})
+		switch {
+		case errors.Is(err, engine.ErrQueueFull):
+			drops++
+		case err != nil:
+			return err
+		default:
+			futures = append(futures, f)
+		}
+	}
+	lat := make([]time.Duration, 0, len(futures))
+	for _, f := range futures {
+		if _, err := f.Wait(ctx); err != nil {
+			return err
+		}
+		m := f.Metrics()
+		lat = append(lat, m.QueueWait+m.Service)
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	fmt.Fprintf(out, "qps-target=%.0f offered=%d served=%d dropped=%d achieved=%.1f/s p50=%v p99=%v\n",
+		qps, requests, len(futures), drops,
+		float64(len(futures))/elapsed.Seconds(),
+		percentile(lat, 0.50), percentile(lat, 0.99))
+	return nil
+}

@@ -1,4 +1,4 @@
-// Command matchbench runs the reproduction experiment suite (E1–E15,
+// Command matchbench runs the reproduction experiment suite (E1–E16,
 // see DESIGN.md) and prints the result tables recorded in
 // EXPERIMENTS.md.
 //

@@ -369,3 +369,33 @@ func (e *Engine) ScheduleMatching(l *list.List, lab []int, K int, o Options) (*R
 	}
 	return matchResult(r), nil
 }
+
+// PoolConfig shapes an engine pool; see engine.PoolConfig.
+type PoolConfig = engine.PoolConfig
+
+// PoolStats is a pool-wide counter snapshot; see engine.PoolStats.
+type PoolStats = engine.PoolStats
+
+// EnginePool is a sharded pool of warm engines fronted by bounded
+// admission queues; see engine.EnginePool. Unlike the single Engine
+// above it is exported as an alias rather than wrapped: its request
+// surface (Submit/Do with engine.Request) is already the full-control
+// API, so there is nothing for core to translate.
+type EnginePool = engine.EnginePool
+
+// Future is a pending pool request's handle; see engine.Future.
+type Future = engine.Future
+
+// Re-exported pool sentinels, matchable with errors.Is.
+var (
+	// ErrQueueFull reports that Submit found the target engine's
+	// admission queue at capacity.
+	ErrQueueFull = engine.ErrQueueFull
+	// ErrPoolClosed reports a Submit or Do after Close.
+	ErrPoolClosed = engine.ErrPoolClosed
+)
+
+// NewEnginePool returns a pool of cfg.Engines warm engines sharing one
+// configuration. See engine.NewPool for defaulting and the sharding /
+// backpressure policy.
+func NewEnginePool(cfg PoolConfig) *EnginePool { return engine.NewPool(cfg) }

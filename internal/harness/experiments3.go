@@ -1,9 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
+	"time"
 
 	"parlist/internal/bits"
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
 	"parlist/internal/partition"
@@ -166,6 +171,102 @@ func runE14(cfg Config) ([]*Table, error) {
 
 		gap := float64(mRed.Time()) / float64(mFull.Time())
 		t.Add(n, g, iters, mFull.Time(), mRed.Time(), gap, sets)
+	}
+	return []*Table{t}, nil
+}
+
+// runE16 sweeps the serving layer: an EnginePool under closed-loop load
+// across an engines × concurrency grid at fixed n. Each cell reports
+// achieved request rate and the queue-wait / service split from
+// PoolStats, and every pool result is checked bit-identical against a
+// reference single-engine run of the same (seed, n, p) request.
+func runE16(cfg Config) ([]*Table, error) {
+	n, requests := 1<<14, 96
+	if cfg.Quick {
+		n, requests = 1<<11, 24
+	}
+	l := list.RandomList(n, cfg.Seed)
+	ctx := context.Background()
+
+	// Reference result from a dedicated single engine.
+	ref := engine.New(engine.Config{Processors: 256})
+	want, err := ref.Run(ctx, engine.Request{List: l})
+	if err != nil {
+		ref.Close()
+		return nil, err
+	}
+	ref.Close()
+
+	t := &Table{
+		Title: fmt.Sprintf("E16 — pool scaling, n = %d, p = 256, %d requests per cell, GOMAXPROCS = %d",
+			n, requests, runtime.GOMAXPROCS(0)),
+		Note:   "req/s scales with engines only when real cores back them; on a 1-CPU host queue-wait is the signal (CHANGES.md PR 1 note)",
+		Header: []string{"engines", "conc", "req/s", "avg-queue-wait-us", "avg-service-us", "spilled-engines", "identical"},
+	}
+	for _, engines := range []int{1, 2, 4} {
+		for _, conc := range []int{1, 4, 16} {
+			p := engine.NewPool(engine.PoolConfig{
+				Engines:    engines,
+				QueueDepth: 2 * conc,
+				Engine:     engine.Config{Processors: 256},
+			})
+			per := requests / conc
+			if per < 1 {
+				per = 1
+			}
+			errs := make([]error, conc)
+			identical := true
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			start := time.Now()
+			for w := 0; w < conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						res, err := p.Do(ctx, engine.Request{List: l})
+						if err != nil {
+							errs[w] = err
+							return
+						}
+						same := len(res.In) == len(want.In) && res.Stats.Time == want.Stats.Time
+						for v := 0; same && v < len(want.In); v++ {
+							same = res.In[v] == want.In[v]
+						}
+						if !same {
+							mu.Lock()
+							identical = false
+							mu.Unlock()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			for _, err := range errs {
+				if err != nil {
+					p.Close()
+					return nil, err
+				}
+			}
+			st := p.Stats()
+			p.Close()
+			busy := 0
+			for _, pe := range st.PerEngine {
+				if pe.Served > 0 {
+					busy++
+				}
+			}
+			served := st.Requests
+			if served == 0 {
+				served = 1
+			}
+			t.Add(engines, conc,
+				float64(per*conc)/elapsed.Seconds(),
+				float64(st.QueueWait.Microseconds())/float64(served),
+				float64(st.Service.Microseconds())/float64(served),
+				busy, identical)
+		}
 	}
 	return []*Table{t}, nil
 }

@@ -20,6 +20,7 @@ package parlist
 
 import (
 	"parlist/internal/core"
+	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
@@ -103,6 +104,52 @@ type EngineStats = core.EngineStats
 
 // NewEngine returns a dedicated engine with a warm machine + workspace.
 func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
+
+// EnginePool is a sharded pool of warm engines fronted by bounded
+// admission queues: Submit returns a Future immediately (or ErrQueueFull
+// under overload), Do blocks with backoff, same-size requests stick to
+// the same engine so each arena stays hot, and an optional result cache
+// replays idempotent traffic without touching an engine. Construct with
+// NewEnginePool, release with Close:
+//
+//	p := parlist.NewEnginePool(parlist.PoolConfig{Engines: 4})
+//	defer p.Close()
+//	res, err := p.Do(ctx, parlist.EngineRequest{List: l})
+type EnginePool = core.EnginePool
+
+// PoolConfig shapes an engine pool: engine count (default GOMAXPROCS),
+// per-engine queue depth, result-cache capacity, and the shared
+// per-engine EngineConfig.
+type PoolConfig = core.PoolConfig
+
+// PoolStats is a pool-wide counter snapshot: totals, rejections,
+// cancellations, cache hits, cumulative queue-wait/service time, and
+// per-engine load.
+type PoolStats = core.PoolStats
+
+// Future is the handle for a pending pool request: Wait for the result,
+// Done to select on completion, Metrics for per-request timings.
+type Future = core.Future
+
+// EngineRequest is the raw typed request served by Engine.Run and
+// EnginePool.Submit/Do — the full-control entry point (op selection,
+// per-request fault plans).
+type EngineRequest = engine.Request
+
+// EngineResult is the raw typed result for an EngineRequest.
+type EngineResult = engine.Result
+
+// Pool overload sentinels (test with errors.Is).
+var (
+	// ErrQueueFull reports that Submit found the admission queue at
+	// capacity; back off or use Do.
+	ErrQueueFull = core.ErrQueueFull
+	// ErrPoolClosed reports a Submit or Do after Close.
+	ErrPoolClosed = core.ErrPoolClosed
+)
+
+// NewEnginePool returns a pool of warm engines for concurrent serving.
+func NewEnginePool(cfg PoolConfig) *EnginePool { return core.NewEnginePool(cfg) }
 
 // RankScheme selects a list-ranking algorithm for Options.Rank.
 type RankScheme = core.RankScheme
