@@ -49,6 +49,7 @@ import (
 	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
+	"parlist/internal/obs"
 	"parlist/internal/pram"
 	"parlist/internal/rank"
 )
@@ -68,6 +69,13 @@ type Entry struct {
 	DispatchOverhead float64 `json:"dispatch_overhead_ns,omitempty"`
 	RequestsPerSec   float64 `json:"requests_per_sec,omitempty"`
 	P99Ns            float64 `json:"p99_ns,omitempty"`
+	// Histogram-derived split of pool latency (from an attached
+	// obs.Collector): time spent queued vs time in service. The p99_ns
+	// column above is end-to-end; these locate where it comes from.
+	QueueWaitP50Ns float64 `json:"queue_wait_p50_ns,omitempty"`
+	QueueWaitP99Ns float64 `json:"queue_wait_p99_ns,omitempty"`
+	ServiceP50Ns   float64 `json:"service_p50_ns,omitempty"`
+	ServiceP99Ns   float64 `json:"service_p99_ns,omitempty"`
 }
 
 // Report is the emitted document.
@@ -261,9 +269,11 @@ func run(args []string, stdout *os.File) error {
 	// the hash spread — is what scales here.
 	lp := list.RandomList(nEng, seed)
 	for _, ne := range []int{1, 2, 4} {
+		collector := obs.NewCollector(obs.NewRegistry())
 		pool := engine.NewPool(engine.PoolConfig{
 			Engines:    ne,
 			QueueDepth: 64,
+			Observer:   collector,
 			Engine:     engine.Config{Processors: 512},
 		})
 		preq := engine.Request{List: lp}
@@ -308,8 +318,22 @@ func run(args []string, stdout *os.File) error {
 		if len(lats) > 0 {
 			e.P99Ns = float64(lats[int(0.99*float64(len(lats)-1))].Nanoseconds())
 		}
-		fmt.Fprintf(stdout, "%-40s %12.0f ns/op %8d allocs/op %12.0f req/s %10.0f p99-ns\n",
-			e.Name, e.NsPerOp, e.AllocsPerOp, e.RequestsPerSec, e.P99Ns)
+		// Split the end-to-end latency with the collector's histograms:
+		// queue wait from the pool's dequeue hook, service time from the
+		// engine's request hook.
+		var qw, svc obs.HistSnapshot
+		collector.QueueWait().Snapshot(&qw)
+		collector.RequestLatency("matching").Snapshot(&svc)
+		if qw.Count > 0 {
+			e.QueueWaitP50Ns = float64(qw.Quantile(0.50))
+			e.QueueWaitP99Ns = float64(qw.Quantile(0.99))
+		}
+		if svc.Count > 0 {
+			e.ServiceP50Ns = float64(svc.Quantile(0.50))
+			e.ServiceP99Ns = float64(svc.Quantile(0.99))
+		}
+		fmt.Fprintf(stdout, "%-40s %12.0f ns/op %8d allocs/op %12.0f req/s %10.0f p99-ns (queue p99 %0.f ns, service p99 %0.f ns)\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.RequestsPerSec, e.P99Ns, e.QueueWaitP99Ns, e.ServiceP99Ns)
 		rep.Benches = append(rep.Benches, e)
 	}
 

@@ -10,10 +10,17 @@
 //     ErrQueueFull drops instead of coordinated-omission-masked
 //     latency.
 //
+// Observability: -listen ADDR serves live Prometheus metrics on
+// /metrics (plus net/http/pprof) while the run executes, and keeps
+// serving after the sweep until interrupted, so the endpoint can be
+// scraped or curl'ed at leisure. -trace FILE writes a Chrome
+// trace-event JSON of the algorithm phase spans, viewable in Perfetto.
+//
 // Usage:
 //
 //	loadgen -n 4096 -p 256 -engines 4 -conc 1,2,4,8 -requests 256
 //	loadgen -n 4096,300 -engines 2 -qps 500 -requests 1000
+//	loadgen -listen :9090 -trace out.json
 //	loadgen -smoke                       # tiny CI smoke run
 //
 // Exit status: 0 on success, 1 on a runtime failure (including any
@@ -25,15 +32,20 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"parlist/internal/engine"
 	"parlist/internal/list"
+	"parlist/internal/obs"
 )
 
 // usageError marks failures caused by bad invocation rather than by the
@@ -91,6 +103,8 @@ func run(args []string, out *os.File) error {
 	queueDepth := fs.Int("queue", 32, "per-engine admission queue depth")
 	cache := fs.Int("cache", 0, "result-cache entries (0 = no cache)")
 	seed := fs.Int64("seed", 1, "list generator seed")
+	listen := fs.String("listen", "", "serve /metrics and /debug/pprof on this address; keeps serving after the run until SIGINT")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of algorithm phases to this file")
 	smoke := fs.Bool("smoke", false, "tiny fixed run for CI smoke tests")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -122,10 +136,32 @@ func run(args []string, out *os.File) error {
 		lists[i] = list.RandomList(n, *seed)
 	}
 
+	// The collector is always wired: its hooks are cheap relative to
+	// request service times, and it is what -listen and -trace expose.
+	reg := obs.NewRegistry()
+	collector := obs.NewCollector(reg)
+	var trace *obs.Trace
+	if *traceOut != "" {
+		trace = obs.NewTrace()
+		collector.AttachTrace(trace)
+	}
+	var srvErr chan error
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fmt.Errorf("listen %s: %w", *listen, err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(out, "serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+		srvErr = make(chan error, 1)
+		go func() { srvErr <- http.Serve(ln, obs.Mux(reg)) }()
+	}
+
 	pool := engine.NewPool(engine.PoolConfig{
 		Engines:    *enginesN,
 		QueueDepth: *queueDepth,
 		CacheSize:  *cache,
+		Observer:   collector,
 		Engine:     engine.Config{Processors: *p},
 	})
 	defer pool.Close()
@@ -134,25 +170,84 @@ func run(args []string, out *os.File) error {
 		*enginesN, *queueDepth, *cache, *p, sizes)
 
 	if *qps > 0 {
-		return openLoop(out, pool, lists, *requests, *qps)
-	}
-	for _, conc := range concs {
-		if err := closedLoop(out, pool, lists, conc, *requests); err != nil {
+		if err := openLoop(out, pool, lists, *requests, *qps); err != nil {
 			return err
 		}
+	} else {
+		for _, conc := range concs {
+			if err := closedLoop(out, pool, lists, conc, *requests); err != nil {
+				return err
+			}
+		}
+		st := pool.Stats()
+		fmt.Fprintf(out, "pool totals: requests=%d failures=%d rejected=%d cache-hits=%d\n",
+			st.Requests, st.Failures, st.Rejected, st.CacheHits)
+		for _, e := range st.PerEngine {
+			fmt.Fprintf(out, "  engine served=%d rebuilds=%d arena %d/%d hits\n",
+				e.Served, e.Stats.Rebuilds, e.Stats.Arena.Hits, e.Stats.Arena.Gets)
+		}
 	}
-	st := pool.Stats()
-	fmt.Fprintf(out, "pool totals: requests=%d failures=%d rejected=%d cache-hits=%d\n",
-		st.Requests, st.Failures, st.Rejected, st.CacheHits)
-	for _, e := range st.PerEngine {
-		fmt.Fprintf(out, "  engine served=%d rebuilds=%d arena %d/%d hits\n",
-			e.Served, e.Stats.Rebuilds, e.Stats.Arena.Hits, e.Stats.Arena.Gets)
+
+	if trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.WriteJSON(f); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %d trace spans to %s\n", trace.Len(), *traceOut)
+	}
+
+	if srvErr != nil {
+		// Keep the metrics endpoint alive after the sweep so it can be
+		// scraped; exit on interrupt (or if the server itself fails).
+		fmt.Fprintf(out, "run complete; still serving metrics — interrupt to exit\n")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		select {
+		case <-sig:
+		case err := <-srvErr:
+			return fmt.Errorf("metrics server: %w", err)
+		}
 	}
 	return nil
 }
 
+// doMetrics issues one request through the Submit path (retrying
+// ErrQueueFull with a short backoff, preserving closed-loop semantics)
+// and returns its per-request metrics, which split total latency into
+// queue wait and service time — the two components the sweep rows
+// report separately.
+func doMetrics(ctx context.Context, pool *engine.EnginePool, l *list.List) (engine.RequestMetrics, error) {
+	for {
+		f, err := pool.Submit(ctx, engine.Request{List: l})
+		if errors.Is(err, engine.ErrQueueFull) {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		if err != nil {
+			return engine.RequestMetrics{}, err
+		}
+		res, err := f.Wait(ctx)
+		if err != nil {
+			return engine.RequestMetrics{}, err
+		}
+		if len(res.In) != l.Len() {
+			return engine.RequestMetrics{}, fmt.Errorf("short result: %d in-flags for n=%d", len(res.In), l.Len())
+		}
+		return f.Metrics(), nil
+	}
+}
+
 // closedLoop runs conc workers issuing requests back-to-back and prints
-// one sweep row.
+// one sweep row with queue-wait and service-time percentiles broken out
+// (a fast engine behind a deep queue and a slow engine behind an empty
+// one have the same total latency; the split tells them apart).
 func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests int) error {
 	ctx := context.Background()
 	per := requests / conc
@@ -160,7 +255,8 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 		per = 1
 	}
 	total := per * conc
-	lat := make([][]time.Duration, conc)
+	type sample struct{ wait, service time.Duration }
+	samples := make([][]sample, conc)
 	errs := make([]error, conc)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -168,20 +264,15 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			lat[w] = make([]time.Duration, 0, per)
+			samples[w] = make([]sample, 0, per)
 			for i := 0; i < per; i++ {
 				l := lists[(w*per+i)%len(lists)]
-				t0 := time.Now()
-				res, err := pool.Do(ctx, engine.Request{List: l})
+				m, err := doMetrics(ctx, pool, l)
 				if err != nil {
 					errs[w] = err
 					return
 				}
-				if len(res.In) != l.Len() {
-					errs[w] = fmt.Errorf("short result: %d in-flags for n=%d", len(res.In), l.Len())
-					return
-				}
-				lat[w] = append(lat[w], time.Since(t0))
+				samples[w] = append(samples[w], sample{m.QueueWait, m.Service})
 			}
 		}(w)
 	}
@@ -192,19 +283,22 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 			return err
 		}
 	}
-	var all []time.Duration
-	for _, ls := range lat {
-		all = append(all, ls...)
+	var lat, wait, svc []time.Duration
+	for _, ws := range samples {
+		for _, s := range ws {
+			lat = append(lat, s.wait+s.service)
+			wait = append(wait, s.wait)
+			svc = append(svc, s.service)
+		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	st := pool.Stats()
-	var avgWait time.Duration
-	if st.Requests > 0 {
-		avgWait = st.QueueWait / time.Duration(st.Requests)
+	for _, sl := range [][]time.Duration{lat, wait, svc} {
+		sort.Slice(sl, func(i, j int) bool { return sl[i] < sl[j] })
 	}
-	fmt.Fprintf(out, "conc=%-3d requests=%-5d req/s=%-9.1f p50=%-10v p99=%-10v avg-queue-wait=%v\n",
+	fmt.Fprintf(out, "conc=%-3d requests=%-5d req/s=%-9.1f p50=%-10v p99=%-10v queue-wait p50=%-10v p99=%-10v service p50=%-10v p99=%v\n",
 		conc, total, float64(total)/elapsed.Seconds(),
-		percentile(all, 0.50), percentile(all, 0.99), avgWait)
+		percentile(lat, 0.50), percentile(lat, 0.99),
+		percentile(wait, 0.50), percentile(wait, 0.99),
+		percentile(svc, 0.50), percentile(svc, 0.99))
 	return nil
 }
 

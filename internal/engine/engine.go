@@ -138,6 +138,13 @@ type Config struct {
 	// Tracer, when non-nil, records round-level logs of every request
 	// served (entries accumulate across requests).
 	Tracer *pram.Tracer
+	// Observer, when non-nil, receives one wall-clock observation per
+	// served request (latency, outcome, arena churn). A value that also
+	// implements pram.Observer is additionally attached to the machine,
+	// so per-round wall time, barrier waits and phase spans flow to the
+	// same sink. Detached (nil) observation costs nothing on the
+	// request path.
+	Observer EngineObserver
 }
 
 // Request describes one computation. The zero value of every field is a
@@ -317,7 +324,24 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 	}
 	defer func() { <-e.sem }()
 
+	var t0 time.Time
+	var arena0 uint64
+	if e.cfg.Observer != nil {
+		t0 = time.Now()
+		arena0 = e.wsp.Stats().BytesAllocated
+	}
+
 	err := e.serve(req, res)
+
+	if o := e.cfg.Observer; o != nil {
+		o.RequestObserved(req.Op.String(), time.Since(t0), err != nil,
+			e.wsp.Stats().BytesAllocated-arena0)
+		if e.m != nil {
+			// Close the request's trailing phase span so idle time
+			// between requests is not charged to it.
+			e.m.FlushSpans()
+		}
+	}
 
 	st := <-e.statsCh
 	st.Requests++
@@ -392,6 +416,9 @@ func (e *Engine) rebuild(p int) {
 	}
 	if e.cfg.Tracer != nil {
 		opts = append(opts, pram.WithTracer(e.cfg.Tracer))
+	}
+	if o, ok := e.cfg.Observer.(pram.Observer); ok {
+		opts = append(opts, pram.WithObserver(o))
 	}
 	e.m = pram.New(p, opts...)
 	e.runner = nil // bound to the old machine

@@ -1,0 +1,40 @@
+package engine
+
+import "time"
+
+// EngineObserver receives wall-clock observations from an Engine: one
+// call per served request, after the machine has finished. The
+// interface uses only basic types so implementations
+// (internal/obs.Collector) need not import engine; the same value can
+// also implement pram.Observer, in which case the engine attaches it to
+// its machine too (see Config.Observer).
+//
+// Observation is a side channel: with a nil observer the request path
+// is untouched (TestEngineSteadyStateZeroAlloc still pins 0 allocs/op),
+// and with one attached, the served results and their simulated Stats
+// are bit-identical.
+type EngineObserver interface {
+	// RequestObserved reports one request: the op name (Op.String), the
+	// engine-side wall time (validation through result copy-out, queue
+	// wait excluded), whether it failed, and how many fresh bytes the
+	// workspace arena had to allocate for it (0 in steady state).
+	RequestObserved(op string, wall time.Duration, failed bool, arenaBytes uint64)
+}
+
+// PoolObserver receives admission-path observations from an EnginePool.
+// Like EngineObserver it is declared over basic types so one collector
+// value can satisfy every observation interface at once. Methods are
+// called concurrently from submitters and shard dispatchers.
+type PoolObserver interface {
+	// EnqueueObserved reports a successful admission; depth is the
+	// chosen shard's queue depth just after the enqueue.
+	EnqueueObserved(depth int)
+	// DequeueObserved reports a request entering service (or resolving
+	// a queued cancellation): wait is admission → dequeue, depth the
+	// shard's remaining queue depth.
+	DequeueObserved(wait time.Duration, depth int)
+	// ShedObserved reports a Submit rejected with ErrQueueFull.
+	ShedObserved()
+	// CacheHitObserved reports a request answered from the result cache.
+	CacheHitObserved()
+}

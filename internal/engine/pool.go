@@ -55,6 +55,13 @@ type PoolConfig struct {
 	// count, executor, worker cap, watchdog). Tracer is ignored:
 	// tracers are per-machine and would interleave across shards.
 	Engine Config
+	// Observer, when non-nil, receives admission-path observations
+	// (queue wait/depth, sheds, cache hits). If it also implements
+	// EngineObserver and Engine.Observer is unset, it is wired into
+	// every engine too, so one obs.Collector attached here instruments
+	// the whole stack: pool admission, engine requests, and (when it
+	// implements pram.Observer) simulator rounds and barriers.
+	Observer PoolObserver
 }
 
 // RequestMetrics records how one pooled request was served. Valid once
@@ -189,6 +196,11 @@ func NewPool(cfg PoolConfig) *EnginePool {
 		cfg.QueueDepth = 32
 	}
 	cfg.Engine.Tracer = nil // per-machine state; meaningless across shards
+	if cfg.Engine.Observer == nil {
+		if eo, ok := cfg.Observer.(EngineObserver); ok {
+			cfg.Engine.Observer = eo
+		}
+	}
 	p := &EnginePool{cfg: cfg}
 	if cfg.CacheSize > 0 {
 		p.cache = newResultCache(cfg.CacheSize)
@@ -233,6 +245,9 @@ func (p *EnginePool) Submit(ctx context.Context, req Request) (*Future, error) {
 		if key, ok := keyOf(&p.cfg.Engine, req); ok {
 			if res := p.cache.get(key); res != nil {
 				p.cacheHits.Add(1)
+				if o := p.cfg.Observer; o != nil {
+					o.CacheHitObserved()
+				}
 				f := &Future{done: make(chan struct{}), m: RequestMetrics{Engine: -1, CacheHit: true}}
 				f.resolve(res, nil)
 				return f, nil
@@ -244,10 +259,16 @@ func (p *EnginePool) Submit(ctx context.Context, req Request) (*Future, error) {
 	s.pending.Add(1)
 	select {
 	case s.queue <- f:
+		if o := p.cfg.Observer; o != nil {
+			o.EnqueueObserved(len(s.queue))
+		}
 		return f, nil
 	default:
 		s.pending.Add(-1)
 		p.rejected.Add(1)
+		if o := p.cfg.Observer; o != nil {
+			o.ShedObserved()
+		}
 		return nil, fmt.Errorf("engine pool: engine %d: %w", s.id, ErrQueueFull)
 	}
 }
@@ -319,6 +340,9 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 	start := time.Now()
 	wait := start.Sub(f.enq)
 	s.queueWaitNs.Add(int64(wait))
+	if o := p.cfg.Observer; o != nil {
+		o.DequeueObserved(wait, len(s.queue))
+	}
 	f.m = RequestMetrics{Engine: s.id, QueueWait: wait}
 	if err := f.ctx.Err(); err != nil {
 		s.canceled.Add(1)

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parlist/internal/engine"
+	"parlist/internal/list"
+	"parlist/internal/obs"
+	"parlist/internal/pram"
+)
+
+// runE17 profiles the serving layer with the observability collector:
+// an EnginePool under closed-loop load at fixed n, across pool sizes,
+// with every engine's machine on the Pooled executor so barrier waits
+// flow. Two signals per cell, both wall-clock side channels (the
+// simulated Stats are untouched, as the equivalence tests assert):
+//
+//   - queue-wait histogram quantiles: time requests spent queued before
+//     an engine picked them up, the saturation signal;
+//   - per-worker barrier-wait totals: how long each executor
+//     participant (0 = coordinator, ≥ 1 = pool workers) sat at
+//     synchronization points, whose spread is the load-imbalance
+//     signal inside a single machine.
+//
+// On a 1-CPU host the absolute waits are scheduling artifacts — workers
+// time-slice one core, so barrier waits are inflated and req/s does not
+// scale with engines (CHANGES.md PR 1 note); the comparison across pool
+// sizes and the queue/service split are the portable signals.
+func runE17(cfg Config) ([]*Table, error) {
+	n, requests, conc := 1<<16, 48, 8
+	if cfg.Quick {
+		n, requests, conc = 1<<12, 16, 4
+	}
+	l := list.RandomList(n, cfg.Seed)
+	ctx := context.Background()
+
+	t := &Table{
+		Title: fmt.Sprintf("E17 — observed queue-wait and barrier-wait imbalance, n = %d, conc = %d, %d requests per cell, GOMAXPROCS = %d",
+			n, conc, requests, runtime.GOMAXPROCS(0)),
+		Note: "wall-clock side channel only (Stats identical observer-on/off); on a 1-CPU host absolute " +
+			"waits are time-slicing artifacts — compare across pool sizes, not against real-parallel hosts",
+		Header: []string{"engines", "queue-p50-us", "queue-p99-us", "service-p50-us", "service-p99-us", "barrier-waits", "coord-wait-ms", "worker-wait-spread"},
+	}
+	for _, engines := range []int{1, 2, 4} {
+		c := obs.NewCollector(obs.NewRegistry())
+		p := engine.NewPool(engine.PoolConfig{
+			Engines:    engines,
+			QueueDepth: 2 * conc,
+			Observer:   c,
+			Engine: engine.Config{
+				Processors: 256,
+				Exec:       pram.Pooled,
+				Workers:    4,
+			},
+		})
+		per := requests / conc
+		if per < 1 {
+			per = 1
+		}
+		errs := make([]error, conc)
+		var wg sync.WaitGroup
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					res, err := p.Do(ctx, engine.Request{List: l})
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					if err := cfg.checkMatching(l, res.In); err != nil {
+						errs[w] = err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		p.Close()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		var qw, bw obs.HistSnapshot
+		c.QueueWait().Snapshot(&qw)
+		c.BarrierWait().Snapshot(&bw)
+		var svc obs.HistSnapshot
+		c.RequestLatency("matching").Snapshot(&svc)
+
+		// Imbalance: spread of per-worker barrier-wait totals, reported
+		// as max/min across the participants that waited at all. The
+		// coordinator's total is its own column — it waits for the
+		// slowest worker, so it dominates when bodies are imbalanced.
+		ww := c.WorkerWaitNs()
+		var coordMs float64
+		minW, maxW := int64(-1), int64(0)
+		for i, w := range ww {
+			if i == 0 {
+				coordMs = float64(w) / 1e6
+				continue
+			}
+			if w <= 0 {
+				continue
+			}
+			if minW < 0 || w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+		}
+		spread := "-"
+		if minW > 0 {
+			spread = fmt.Sprintf("%.2f", float64(maxW)/float64(minW))
+		}
+		t.Add(engines,
+			fmt.Sprintf("%.1f", float64(qw.Quantile(0.50))/1e3),
+			fmt.Sprintf("%.1f", float64(qw.Quantile(0.99))/1e3),
+			fmt.Sprintf("%.1f", float64(svc.Quantile(0.50))/1e3),
+			fmt.Sprintf("%.1f", float64(svc.Quantile(0.99))/1e3),
+			bw.Count, fmt.Sprintf("%.2f", coordMs), spread)
+	}
+	return []*Table{t}, nil
+}

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E1–E16 (see
+// Package harness runs the reproduction experiments E1–E17 (see
 // DESIGN.md): each of the paper's lemmas and theorems is exercised over
 // parameter sweeps and rendered as a text table comparing measured PRAM
 // step counts against the paper's bounds.
@@ -143,6 +143,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "§4 open problem: constant-range partition at p = n/G(n)", Run: runE14},
 		{ID: "E15", Title: "Design-choice ablations", Run: runE15},
 		{ID: "E16", Title: "Serving layer: EnginePool scaling across engines × concurrency", Run: runE16},
+		{ID: "E17", Title: "Observability: queue-wait and barrier-wait imbalance across pool sizes", Run: runE17},
 	}
 }
 

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxTrackedWorkers caps the per-worker barrier-wait attribution; a
+// worker id at or beyond the cap still feeds the aggregate histogram,
+// it just loses its dedicated imbalance counter. Far above any real
+// pool in this repository (worker counts track CPU cores).
+const MaxTrackedWorkers = 64
+
+// Collector receives the wall-clock observations the producing layers
+// emit and lands them in a Registry. It structurally satisfies
+// pram.Observer (round wall time, per-worker barrier waits, phase
+// spans), engine.EngineObserver (per-op request latency, arena churn)
+// and engine.PoolObserver (queue wait/depth, shed, cache hits) — one
+// Collector can be attached at all three layers at once, and every
+// method is safe for concurrent use (the hot paths are lock-free
+// atomics).
+//
+// Metric names (all durations in nanoseconds):
+//
+//	parlist_round_wall_ns            histogram  per synchronous PRAM round
+//	parlist_rounds_total             counter
+//	parlist_barrier_wait_ns          histogram  per barrier participant wait
+//	parlist_barrier_worker_wait_ns_total{worker}  counter (imbalance)
+//	parlist_barrier_worker_waits_total{worker}    counter
+//	parlist_phase_wall_ns_total{phase}            counter
+//	parlist_request_latency_ns{op}   histogram  engine service time
+//	parlist_requests_total           counter
+//	parlist_request_failures_total   counter
+//	parlist_arena_bytes_total        counter    fresh arena allocation
+//	parlist_queue_wait_ns            histogram  admission → service start
+//	parlist_queue_depth              gauge      depth of the event's shard
+//	parlist_queue_shed_total         counter    ErrQueueFull rejections
+//	parlist_cache_hits_total         counter    result-cache hits
+type Collector struct {
+	reg   *Registry
+	trace *Trace
+
+	// Simulator layer.
+	roundWall   *Histogram
+	rounds      *Counter
+	barrierWait *Histogram
+	workerNs    [MaxTrackedWorkers]atomic.Pointer[Counter]
+	workerN     [MaxTrackedWorkers]atomic.Pointer[Counter]
+	phaseNs     sync.Map // phase name → *Counter
+
+	// Engine layer.
+	reqLat     sync.Map // op name → *Histogram
+	requests   *Counter
+	failures   *Counter
+	arenaBytes *Counter
+
+	// Pool layer.
+	queueWait  *Histogram
+	queueDepth *Gauge
+	shed       *Counter
+	cacheHits  *Counter
+}
+
+// NewCollector returns a collector registering its metrics in reg.
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{
+		reg:         reg,
+		roundWall:   reg.Histogram("parlist_round_wall_ns", "wall-clock duration of one synchronous PRAM round"),
+		rounds:      reg.Counter("parlist_rounds_total", "synchronous PRAM rounds executed"),
+		barrierWait: reg.Histogram("parlist_barrier_wait_ns", "per-participant wait at executor barriers"),
+		requests:    reg.Counter("parlist_requests_total", "engine requests served"),
+		failures:    reg.Counter("parlist_request_failures_total", "engine requests that returned an error"),
+		arenaBytes:  reg.Counter("parlist_arena_bytes_total", "fresh bytes allocated by workspace arenas"),
+		queueWait:   reg.Histogram("parlist_queue_wait_ns", "admission-to-service wait in the pool queue"),
+		queueDepth:  reg.Gauge("parlist_queue_depth", "instantaneous depth of the event's shard queue"),
+		shed:        reg.Counter("parlist_queue_shed_total", "requests shed with a full admission queue"),
+		cacheHits:   reg.Counter("parlist_cache_hits_total", "requests served from the result cache"),
+	}
+}
+
+// AttachTrace directs phase spans into t (nil detaches). Metrics keep
+// flowing either way; the trace only adds the Perfetto span log.
+func (c *Collector) AttachTrace(t *Trace) { c.trace = t }
+
+// RoundObserved implements the simulator's round hook: one synchronous
+// primitive took wall time for items items.
+func (c *Collector) RoundObserved(wall time.Duration, items int) {
+	c.roundWall.Observe(wall.Nanoseconds())
+	c.rounds.Inc()
+}
+
+// worker returns the lazily created per-worker counter pair. The fast
+// path is one atomic load; creation races resolve through the
+// registry's idempotent constructors, so both racers store the same
+// instance.
+func (c *Collector) worker(q int) (ns, n *Counter) {
+	ns = c.workerNs[q].Load()
+	if ns == nil {
+		label := strconv.Itoa(q)
+		ns = c.reg.Counter("parlist_barrier_worker_wait_ns_total",
+			"cumulative barrier wait per participant (worker 0 = coordinator)", "worker", label)
+		c.workerNs[q].Store(ns)
+		c.workerN[q].Store(c.reg.Counter("parlist_barrier_worker_waits_total",
+			"barrier waits recorded per participant", "worker", label))
+	}
+	n = c.workerN[q].Load()
+	return ns, n
+}
+
+// BarrierWaitObserved implements the executor's barrier hook: one
+// participant (worker 0 = coordinator) waited wall at a barrier.
+func (c *Collector) BarrierWaitObserved(worker int, wall time.Duration) {
+	ns := wall.Nanoseconds()
+	c.barrierWait.Observe(ns)
+	if worker >= 0 && worker < MaxTrackedWorkers {
+		wNs, wN := c.worker(worker)
+		wNs.Add(ns)
+		wN.Inc()
+	}
+}
+
+// PhaseObserved implements the simulator's phase hook: the named
+// accounting phase ran as one wall-clock span.
+func (c *Collector) PhaseObserved(name string, start time.Time, wall time.Duration) {
+	v, ok := c.phaseNs.Load(name)
+	if !ok {
+		v, _ = c.phaseNs.LoadOrStore(name,
+			c.reg.Counter("parlist_phase_wall_ns_total", "cumulative wall time per algorithm phase", "phase", name))
+	}
+	v.(*Counter).Add(wall.Nanoseconds())
+	if t := c.trace; t != nil {
+		t.Span(name, "phase", 1, start, wall)
+	}
+}
+
+// RequestLatency returns the request-latency histogram for one op,
+// creating it on first use — the same instance RequestObserved feeds.
+func (c *Collector) RequestLatency(op string) *Histogram {
+	v, ok := c.reqLat.Load(op)
+	if !ok {
+		v, _ = c.reqLat.LoadOrStore(op,
+			c.reg.Histogram("parlist_request_latency_ns", "engine-side service time per request", "op", op))
+	}
+	return v.(*Histogram)
+}
+
+// RequestObserved implements the engine's request hook: one request of
+// the named op finished after wall, allocating arenaBytes fresh bytes
+// in the workspace arena.
+func (c *Collector) RequestObserved(op string, wall time.Duration, failed bool, arenaBytes uint64) {
+	c.RequestLatency(op).Observe(wall.Nanoseconds())
+	c.requests.Inc()
+	if failed {
+		c.failures.Inc()
+	}
+	if arenaBytes > 0 {
+		c.arenaBytes.Add(int64(arenaBytes))
+	}
+}
+
+// EnqueueObserved implements the pool's admission hook.
+func (c *Collector) EnqueueObserved(depth int) {
+	c.queueDepth.Set(int64(depth))
+}
+
+// DequeueObserved implements the pool's service-start hook: a request
+// waited wait in its shard queue, which now holds depth entries.
+func (c *Collector) DequeueObserved(wait time.Duration, depth int) {
+	c.queueWait.Observe(wait.Nanoseconds())
+	c.queueDepth.Set(int64(depth))
+}
+
+// ShedObserved implements the pool's overload hook.
+func (c *Collector) ShedObserved() { c.shed.Inc() }
+
+// CacheHitObserved implements the pool's result-cache hook.
+func (c *Collector) CacheHitObserved() { c.cacheHits.Inc() }
+
+// QueueWait returns the pool queue-wait histogram.
+func (c *Collector) QueueWait() *Histogram { return c.queueWait }
+
+// BarrierWait returns the aggregate barrier-wait histogram.
+func (c *Collector) BarrierWait() *Histogram { return c.barrierWait }
+
+// RoundWall returns the per-round wall-time histogram.
+func (c *Collector) RoundWall() *Histogram { return c.roundWall }
+
+// WorkerWaitNs reports the cumulative barrier-wait nanoseconds per
+// tracked participant, trimmed to the highest participant seen —
+// the raw material of E17's imbalance measurements.
+func (c *Collector) WorkerWaitNs() []int64 {
+	out := make([]int64, 0, MaxTrackedWorkers)
+	last := -1
+	for q := 0; q < MaxTrackedWorkers; q++ {
+		if ctr := c.workerNs[q].Load(); ctr != nil {
+			for len(out) < q {
+				out = append(out, 0)
+			}
+			out = append(out, ctr.Value())
+			last = q
+		}
+	}
+	return out[:last+1]
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorFeedsRegistry(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	tr := NewTrace()
+	c.AttachTrace(tr)
+
+	start := time.Now()
+	c.RoundObserved(5*time.Microsecond, 100)
+	c.BarrierWaitObserved(0, time.Microsecond)
+	c.BarrierWaitObserved(3, 2*time.Microsecond)
+	c.PhaseObserved("partition", start, 10*time.Microsecond)
+	c.PhaseObserved("column-sort", start, 20*time.Microsecond)
+	c.RequestObserved("matching", time.Millisecond, false, 4096)
+	c.RequestObserved("rank", 2*time.Millisecond, true, 0)
+	c.EnqueueObserved(3)
+	c.DequeueObserved(50*time.Microsecond, 2)
+	c.ShedObserved()
+	c.CacheHitObserved()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"parlist_rounds_total 1",
+		`parlist_barrier_worker_wait_ns_total{worker="3"} 2000`,
+		`parlist_phase_wall_ns_total{phase="partition"} 10000`,
+		`parlist_request_latency_ns_count{op="matching"} 1`,
+		"parlist_requests_total 2",
+		"parlist_request_failures_total 1",
+		"parlist_arena_bytes_total 4096",
+		"parlist_queue_depth 2",
+		"parlist_queue_shed_total 1",
+		"parlist_cache_hits_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Errorf("trace spans = %d, want 2", tr.Len())
+	}
+	ww := c.WorkerWaitNs()
+	if len(ww) != 4 || ww[0] != 1000 || ww[3] != 2000 {
+		t.Errorf("WorkerWaitNs = %v", ww)
+	}
+}
+
+// TestCollectorConcurrent exercises every hook from many goroutines so
+// the -race CI job proves the collector is data-race free.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(NewRegistry())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.RoundObserved(time.Duration(i), i)
+				c.BarrierWaitObserved(w, time.Duration(i))
+				c.RequestObserved("matching", time.Duration(i), i%7 == 0, uint64(i))
+				c.DequeueObserved(time.Duration(i), i%4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var s HistSnapshot
+	c.RoundWall().Snapshot(&s)
+	if s.Count != 8*500 {
+		t.Errorf("rounds = %d, want %d", s.Count, 8*500)
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up", "liveness").Inc()
+	srv := httptest.NewServer(Mux(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	if _, err := readAll(&b, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "up 1") {
+		t.Errorf("metrics payload:\n%s", b.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	// The pprof index must be mounted on the same mux.
+	pr, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Body.Close()
+	if pr.StatusCode != 200 {
+		t.Errorf("pprof index status %d", pr.StatusCode)
+	}
+}
+
+func TestTraceJSONShape(t *testing.T) {
+	tr := NewTrace()
+	base := time.Now()
+	tr.Span("partition", "phase", 1, base, 5*time.Millisecond)
+	tr.Span("column-sort", "phase", 1, base.Add(5*time.Millisecond), 3*time.Millisecond)
+	tr.Span("walkdown1", "phase", 1, base.Add(8*time.Millisecond), time.Millisecond)
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("events = %d, want 3", len(doc.TraceEvents))
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event ph = %q, want X", e.Ph)
+		}
+		if e.Dur < 0 || e.TS <= 0 {
+			t.Errorf("bad ts/dur: %+v", e)
+		}
+		names[e.Name] = true
+	}
+	if len(names) < 3 {
+		t.Errorf("distinct span names = %d, want ≥ 3", len(names))
+	}
+}
+
+// readAll copies r into b (tiny local io helper to keep imports lean).
+func readAll(b *strings.Builder, r interface{ Read([]byte) (int, error) }) (int64, error) {
+	buf := make([]byte, 4096)
+	var n int64
+	for {
+		k, err := r.Read(buf)
+		b.Write(buf[:k])
+		n += int64(k)
+		if err != nil {
+			if err.Error() == "EOF" {
+				return n, nil
+			}
+			return n, err
+		}
+	}
+}

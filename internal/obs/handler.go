@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler that serves the registry in
+// Prometheus text exposition format. The payload is rendered into a
+// buffer first so a slow client never holds the registry mutex.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}
+
+// Mux returns a ServeMux exposing the registry at /metrics alongside
+// the net/http/pprof endpoints at /debug/pprof/ — the standard live
+// profiling surface (goroutine dumps, CPU and heap profiles, execution
+// traces) wired next to the metrics so one -listen flag serves both.
+func Mux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundsPartition checks the buckets tile [0, MaxInt64) with
+// no gaps or overlaps: every bucket's hi is the next bucket's lo.
+func TestBucketBoundsPartition(t *testing.T) {
+	lo0, _ := BucketBounds(0)
+	if lo0 != 0 {
+		t.Fatalf("bucket 0 lo = %d, want 0", lo0)
+	}
+	for i := 0; i < HistBuckets-1; i++ {
+		_, hi := BucketBounds(i)
+		lo, _ := BucketBounds(i + 1)
+		if hi != lo {
+			t.Fatalf("bucket %d hi = %d, bucket %d lo = %d: gap or overlap", i, hi, i+1, lo)
+		}
+	}
+}
+
+// TestBucketBoundaryValues checks the round trip value → bucket →
+// bounds at the exact boundaries where off-by-one errors live: bucket
+// edges, powers of two, and their neighbours.
+func TestBucketBoundaryValues(t *testing.T) {
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 63, 64, 65, 255, 256, 1 << 20, 1<<20 + 1, math.MaxInt64}
+	for p := 4; p < 63; p++ {
+		vals = append(vals, int64(1)<<p-1, int64(1)<<p, int64(1)<<p+1)
+	}
+	for _, v := range vals {
+		i := bucketIdx(uint64(v))
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("value %d: bucket %d out of range", v, i)
+		}
+		lo, hi := BucketBounds(i)
+		if v < lo || (v >= hi && hi != math.MaxInt64) {
+			t.Errorf("value %d landed in bucket %d = [%d, %d)", v, i, lo, hi)
+		}
+	}
+}
+
+// TestBucketIdxMonotone checks that larger values never map to smaller
+// buckets (the property percentile extraction relies on).
+func TestBucketIdxMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prev := 0
+	var prevV uint64
+	for i := 0; i < 100000; i++ {
+		v := prevV + uint64(rng.Int63n(1<<40))
+		b := bucketIdx(v)
+		if b < prev {
+			t.Fatalf("bucketIdx(%d) = %d < bucketIdx(%d) = %d", v, b, prevV, prev)
+		}
+		prev, prevV = b, v
+	}
+}
+
+// TestQuantileMonotone checks Quantile(q) is non-decreasing in q and
+// bracketed by [0, Max].
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		h.Observe(rng.Int63n(1 << 30))
+	}
+	var s HistSnapshot
+	h.Snapshot(&s)
+	prev := int64(-1)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d", q, v, prev)
+		}
+		if v < 0 || v > s.Max {
+			t.Fatalf("Quantile(%v) = %d outside [0, %d]", q, v, s.Max)
+		}
+		prev = v
+	}
+	if got := s.Quantile(1.0); got != s.Max {
+		t.Errorf("Quantile(1.0) = %d, want exact max %d", got, s.Max)
+	}
+}
+
+// TestQuantileAccuracy checks the log-linear quantization error bound:
+// every quantile is within 1/16 relative error of the exact order
+// statistic.
+func TestQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(11))
+	exact := make([]int64, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		v := rng.Int63n(1 << 34)
+		exact = append(exact, v)
+		h.Observe(v)
+	}
+	// Selection by sorting the reference copy.
+	for i := 1; i < len(exact); i++ {
+		for j := i; j > 0 && exact[j] < exact[j-1]; j-- {
+			exact[j], exact[j-1] = exact[j-1], exact[j]
+		}
+	}
+	var s HistSnapshot
+	h.Snapshot(&s)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		rank := int(math.Ceil(q*float64(len(exact)))) - 1
+		want := exact[rank]
+		got := s.Quantile(q)
+		if want == 0 {
+			continue
+		}
+		if rel := math.Abs(float64(got-want)) / float64(want); rel > 1.0/16 {
+			t.Errorf("p%v = %d, exact %d: relative error %.3f > 1/16", q*100, got, want, rel)
+		}
+	}
+}
+
+func randomSnapshot(rng *rand.Rand, n int) *HistSnapshot {
+	var h Histogram
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Int63n(1 << 42))
+	}
+	var s HistSnapshot
+	h.Snapshot(&s)
+	return &s
+}
+
+// TestMergeAssociativeCommutative checks (a⊕b)⊕c == a⊕(b⊕c) and
+// a⊕b == b⊕a element-for-element.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := randomSnapshot(rng, 100+rng.Intn(400))
+		b := randomSnapshot(rng, 100+rng.Intn(400))
+		c := randomSnapshot(rng, 100+rng.Intn(400))
+
+		left := *a
+		left.Merge(b)
+		left.Merge(c)
+
+		bc := *b
+		bc.Merge(c)
+		right := *a
+		right.Merge(&bc)
+
+		if left != right {
+			t.Fatal("merge is not associative")
+		}
+
+		ab := *a
+		ab.Merge(b)
+		ba := *b
+		ba.Merge(a)
+		if ab != ba {
+			t.Fatal("merge is not commutative")
+		}
+	}
+}
+
+// TestMergeIdentity checks the empty snapshot is a merge identity.
+func TestMergeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSnapshot(rng, 300)
+	var zero HistSnapshot
+	got := *a
+	got.Merge(&zero)
+	if got != *a {
+		t.Error("merging the empty snapshot changed the result")
+	}
+}
+
+// TestObserveConcurrent hammers one histogram from many goroutines
+// (run under -race in CI) and checks no observation is lost.
+func TestObserveConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 36))
+			}
+		}(w)
+	}
+	wg.Wait()
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != workers*per {
+		t.Errorf("count = %d, want %d", s.Count, workers*per)
+	}
+	var fromBuckets uint64
+	for _, c := range s.Counts {
+		fromBuckets += c
+	}
+	if fromBuckets != s.Count {
+		t.Errorf("bucket total = %d, count = %d", fromBuckets, s.Count)
+	}
+}
+
+// TestObserveNegativeClamps checks negative observations land at zero
+// rather than corrupting a bucket index.
+func TestObserveNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Counts[0] != 1 || s.Count != 1 || s.Sum != 0 {
+		t.Errorf("negative observe: counts[0]=%d count=%d sum=%d", s.Counts[0], s.Count, s.Sum)
+	}
+}
+
+// TestObserveZeroAlloc pins the hot path: Observe must not allocate.
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	if avg := testing.AllocsPerRun(100, func() { h.Observe(12345) }); avg != 0 {
+		t.Errorf("Observe allocs/op = %v, want 0", avg)
+	}
+}
+
+// FuzzHistogramMerge checks, for arbitrary observation sets split two
+// ways, that merging the parts equals observing the whole, and that
+// quantiles of the merged snapshot stay in range.
+func FuzzHistogramMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add([]byte{0xFF, 0, 0xFF, 0, 7}, uint8(1))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, split uint8) {
+		// Each consecutive 3-byte group becomes one observation; split
+		// decides which part it lands in.
+		var whole, partA, partB Histogram
+		for i := 0; i+2 < len(data); i += 3 {
+			v := int64(data[i]) | int64(data[i+1])<<8 | int64(data[i+2])<<17
+			whole.Observe(v)
+			if (data[i]^split)&1 == 0 {
+				partA.Observe(v)
+			} else {
+				partB.Observe(v)
+			}
+		}
+		var sw, sa, sb HistSnapshot
+		whole.Snapshot(&sw)
+		partA.Snapshot(&sa)
+		partB.Snapshot(&sb)
+		sa.Merge(&sb)
+		if sa != sw {
+			t.Fatalf("merge of parts != whole: count %d vs %d", sa.Count, sw.Count)
+		}
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			v := sa.Quantile(q)
+			if v < 0 || v > sa.Max {
+				t.Fatalf("Quantile(%v) = %d outside [0, %d]", q, v, sa.Max)
+			}
+		}
+	})
+}

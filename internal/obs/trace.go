@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceEvent is one Chrome trace-event record. Only complete events
+// ("ph":"X") are emitted: name, category, start timestamp and duration
+// in microseconds, plus process/thread ids for lane assignment.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// Trace accumulates wall-clock spans and serializes them as Chrome
+// trace-event JSON ({"traceEvents": [...]}), the format Perfetto and
+// chrome://tracing load directly. Spans from concurrent producers are
+// safe to add; they land on the thread lane given by tid.
+type Trace struct {
+	mu     sync.Mutex
+	events []traceEvent
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{}
+}
+
+// Span records one completed wall-clock span.
+func (t *Trace) Span(name, cat string, tid int, start time.Time, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.events = append(t.events, traceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		TS:   float64(start.UnixNano()) / 1e3,
+		Dur:  float64(d.Nanoseconds()) / 1e3,
+		PID:  1,
+		TID:  tid,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the trace in Chrome trace-event JSON format.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	doc := struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

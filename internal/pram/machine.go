@@ -143,6 +143,15 @@ type Machine struct {
 	tracer  *Tracer
 	notes   []string
 
+	// obsv receives wall-clock observations (observe.go); phaseStart is
+	// the opening instant of the current phase span, zero while idle.
+	// Both are dead weight when no observer is attached: every hook site
+	// nil-checks obsv first, so the unobserved hot path costs one
+	// predictable branch and the simulated accounting is bit-identical
+	// either way.
+	obsv       Observer
+	phaseStart time.Time
+
 	// pool holds the persistent workers of the Pooled executor (nil for
 	// the other executors, after Close, and after a recovered failure
 	// degraded the machine to inline execution); fused is set while a
@@ -219,6 +228,7 @@ func New(p int, opts ...Option) *Machine {
 		m.pool = newPool(m.workers - 1)
 		m.pool.faults = m.faults
 		m.pool.watchdog = m.watchdog
+		m.pool.obsv = m.obsv
 		// The workers reference only the pool, never the Machine, so an
 		// unreachable Machine is collectable and its finalizer can stop
 		// them.
@@ -277,6 +287,9 @@ func (m *Machine) Reset() {
 	if m.fused {
 		panic("pram: Reset inside an open Batch (finish the batch before resetting accounting)")
 	}
+	if m.obsv != nil {
+		m.spanCut(time.Now())
+	}
 	m.time, m.work, m.round, m.vtime = 0, 0, 0, 0
 	m.vproc = 0
 	// Reuse the phases backing array: a reused machine's second and
@@ -315,6 +328,9 @@ func (m *Machine) SetFaults(plan *FaultPlan) {
 // accumulate under it. Useful for per-step breakdowns (e.g. showing that
 // Match2's sort step dominates).
 func (m *Machine) Phase(name string) {
+	if m.obsv != nil {
+		m.spanCut(time.Now())
+	}
 	m.phases = append(m.phases, PhaseStat{Name: name})
 	m.curPhase = len(m.phases) - 1
 }
@@ -397,6 +413,10 @@ func (m *Machine) ParFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	var t0 time.Time
+	if m.obsv != nil {
+		t0 = time.Now()
+	}
 	c := ceilDiv(int64(n), int64(m.p))
 	m.beginRound()
 	if !m.dispatch(n, body) {
@@ -418,6 +438,9 @@ func (m *Machine) ParFor(n int, body func(i int)) {
 	m.vtime = m.round
 	m.charge(c, int64(n))
 	m.tracer.record(m, KindParFor, n, c, int64(n))
+	if m.obsv != nil {
+		m.obsv.RoundObserved(time.Since(t0), n)
+	}
 }
 
 // ParForCost is ParFor for bodies that each perform up to `cost` unit
@@ -430,6 +453,10 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 	}
 	if cost < 1 {
 		panic("pram: ParForCost with cost < 1")
+	}
+	var t0 time.Time
+	if m.obsv != nil {
+		t0 = time.Now()
 	}
 	c := ceilDiv(int64(n), int64(m.p))
 	m.beginRound()
@@ -450,11 +477,18 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 	m.vtime = m.round
 	m.charge(c*cost, int64(n)*cost)
 	m.tracer.record(m, KindParFor, n, c*cost, int64(n)*cost)
+	if m.obsv != nil {
+		m.obsv.RoundObserved(time.Since(t0), n)
+	}
 }
 
 // ProcFor runs one unit-cost operation on each of the p processors:
 // 1 time step, p work. body receives the processor index.
 func (m *Machine) ProcFor(body func(q int)) {
+	var t0 time.Time
+	if m.obsv != nil {
+		t0 = time.Now()
+	}
 	m.beginRound()
 	if !m.dispatch(m.p, body) {
 		if m.checked != nil {
@@ -473,6 +507,9 @@ func (m *Machine) ProcFor(body func(q int)) {
 	m.vtime = m.round
 	m.charge(1, int64(m.p))
 	m.tracer.record(m, KindProc, m.p, 1, int64(m.p))
+	if m.obsv != nil {
+		m.obsv.RoundObserved(time.Since(t0), m.p)
+	}
 }
 
 // ProcRun runs a local procedure of `steps` sequential unit operations
@@ -482,6 +519,10 @@ func (m *Machine) ProcFor(body func(q int)) {
 func (m *Machine) ProcRun(steps int64, body func(q int)) {
 	if steps < 0 {
 		panic("pram: ProcRun with negative steps")
+	}
+	var t0 time.Time
+	if m.obsv != nil {
+		t0 = time.Now()
 	}
 	m.beginRound()
 	if !m.dispatch(m.p, body) {
@@ -501,6 +542,9 @@ func (m *Machine) ProcRun(steps int64, body func(q int)) {
 	m.vtime = m.round
 	m.charge(steps, int64(m.p)*steps)
 	m.tracer.record(m, KindProc, m.p, steps, int64(m.p)*steps)
+	if m.obsv != nil {
+		m.obsv.RoundObserved(time.Since(t0), m.p)
+	}
 }
 
 // beginRound notifies checked arrays that a new synchronous primitive
@@ -624,6 +668,13 @@ func (m *Machine) runChunks(n int, body func(i int)) *WorkerPanic {
 			}
 		}(q, lo, hi)
 	}
+	var t0 time.Time
+	if m.obsv != nil {
+		t0 = time.Now()
+	}
 	wg.Wait()
+	if m.obsv != nil {
+		m.obsv.BarrierWaitObserved(0, time.Since(t0))
+	}
 	return failure.Load()
 }

@@ -74,6 +74,11 @@ type pool struct {
 	faults   *FaultPlan
 	watchdog time.Duration
 
+	// obsv receives per-participant barrier-wait observations (worker 0
+	// = coordinator); nil means no measurement, so the unobserved spin
+	// paths never read a clock.
+	obsv Observer
+
 	closed bool
 }
 
@@ -243,7 +248,17 @@ func (p *pool) run(n int, body func(i int)) error {
 	}
 	p.runChunkSafe(0, p.op)
 	if woken > 0 {
+		// The coordinator's wait for the slowest background worker is
+		// this mode's imbalance signal (the workers themselves park
+		// without waiting on each other).
+		var t0 time.Time
+		if p.obsv != nil {
+			t0 = time.Now()
+		}
 		<-p.done
+		if p.obsv != nil {
+			p.obsv.BarrierWaitObserved(0, time.Since(t0))
+		}
 	}
 	p.op.body = nil // do not retain the caller's closure between rounds
 	if rec := p.failure.Load(); rec != nil {
@@ -305,11 +320,18 @@ func (p *pool) endBatch() *BarrierStall {
 // false when the pool was aborted, telling the worker to exit its
 // goroutine.
 func (p *pool) workerBarrier(q int) bool {
+	var t0 time.Time
+	if p.obsv != nil {
+		t0 = time.Now()
+	}
 	gen := p.gen.Load()
 	p.slots[q].lastGen.Store(gen)
 	if p.arrived.Add(1) == p.parties {
 		p.arrived.Store(0)
 		p.gen.Add(1)
+		if p.obsv != nil {
+			p.obsv.BarrierWaitObserved(q+1, time.Since(t0))
+		}
 		return true
 	}
 	for spins := 0; p.gen.Load() == gen; spins++ {
@@ -325,6 +347,9 @@ func (p *pool) workerBarrier(q int) bool {
 			time.Sleep(5 * time.Microsecond)
 		}
 	}
+	if p.obsv != nil {
+		p.obsv.BarrierWaitObserved(q+1, time.Since(t0))
+	}
 	return true
 }
 
@@ -332,10 +357,17 @@ func (p *pool) workerBarrier(q int) bool {
 // watchdog: once the wait exceeds the deadline the pool is aborted and
 // a BarrierStall naming the missing workers is returned.
 func (p *pool) coordBarrier() *BarrierStall {
+	var t0 time.Time
+	if p.obsv != nil {
+		t0 = time.Now()
+	}
 	gen := p.gen.Load()
 	if p.arrived.Add(1) == p.parties {
 		p.arrived.Store(0)
 		p.gen.Add(1)
+		if p.obsv != nil {
+			p.obsv.BarrierWaitObserved(0, time.Since(t0))
+		}
 		return nil
 	}
 	var start time.Time
@@ -361,6 +393,9 @@ func (p *pool) coordBarrier() *BarrierStall {
 			}
 			time.Sleep(5 * time.Microsecond)
 		}
+	}
+	if p.obsv != nil {
+		p.obsv.BarrierWaitObserved(0, time.Since(t0))
 	}
 	return nil
 }

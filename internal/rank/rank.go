@@ -29,6 +29,7 @@ import (
 // suffix sums and the number of rounds.
 func Wyllie(m *pram.Machine, l *list.List, vals []int) ([]int, int) {
 	n := l.Len()
+	m.Phase("wyllie-jump")
 	w := m.Workspace()
 	// All four buffers are fully written before their first read (the
 	// init round seeds s and nxt; the copy rounds seed the aux pair).
@@ -168,7 +169,11 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 		cnt := len(active)
 		// Compact the live sublist into addresses [0, cnt): the matching
 		// partition functions need distinct small addresses. idx maps
-		// original → compact.
+		// original → compact. The phase marks each contraction round's
+		// compaction; the matcher then switches to its own phases, and
+		// "splice" below covers the rewiring — so a traced rank request
+		// shows the contract/match/splice cadence round by round.
+		m.Phase("contract")
 		m.ParFor(cnt, func(i int) { idx[active[i]] = i })
 		cnext := ws.IntsNoZero(w, cnt)
 		m.ParFor(cnt, func(i int) {
@@ -188,6 +193,7 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 
 		// Splice: for matched compact pointer ⟨i, cnext[i]⟩ remove the
 		// head b. Record, fold values, rewire.
+		m.Phase("splice")
 		removed := make([]bool, cnt)
 		var recs []spliceRecord
 		m.ParFor(cnt, func(i int) {
@@ -234,6 +240,7 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 	stats.FinalSequential = len(active)
 
 	// Base case: walk the residual list sequentially (≤ threshold nodes).
+	m.Phase("base-walk")
 	suffix := make([]int, n)
 	resOrder := make([]int, 0, len(active))
 	for v := head; v != list.Nil; v = nxt[v] {
@@ -248,6 +255,7 @@ func ContractFold(m *pram.Machine, l *list.List, vals []int, op scan.Op, cfg *Co
 	m.Charge(int64(len(resOrder)), int64(len(resOrder)))
 
 	// Expansion: reverse the rounds, fused into one dispatch group.
+	m.Phase("expand")
 	m.Batch(func(b *pram.Batch) {
 		for r := len(rounds) - 1; r >= 0; r-- {
 			recs := rounds[r]
