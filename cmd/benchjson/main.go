@@ -22,7 +22,10 @@
 // outputs recycled — allocs/op must stay 0), the "result=fresh" row is
 // the public façade on the same engine, and the "machine=cold" row is
 // the old one-machine-per-call pattern for contrast. These rows also
-// report requests/sec.
+// report requests/sec. The "exec=pooled"/"exec=native" pair repeats the
+// reused-result measurement under each executor: the native row must
+// hold 0 allocs/op with ns/op no worse than pooled (CI-adjacent guard;
+// E18 sweeps the same comparison across ops).
 //
 // The pool-throughput entries drive an EnginePool closed-loop at fixed n
 // with GOMAXPROCS submitters and report requests_per_sec and p99_ns for
@@ -245,6 +248,34 @@ func run(args []string, stdout *os.File) error {
 			return runErr
 		}
 	}
+	// Executor family on the same warm-engine path: the pooled executor
+	// (fused simulated rounds) vs the native fast path, workers pinned
+	// to 4 as in executor-overhead. Both rows are the result=reused
+	// zero-alloc path; the native row must hold allocs/op = 0 and ns/op
+	// no worse than pooled at this n (the Issue 6 acceptance bar).
+	for _, ex := range []pram.Exec{pram.Pooled, pram.Native} {
+		eng := engine.New(engine.Config{Processors: 512, Exec: ex, Workers: 4})
+		req := engine.Request{List: le}
+		var res engine.Result
+		for i := 0; i < 2; i++ { // warm the arena and kernel caches
+			if err := eng.RunInto(ctx, req, &res); err != nil {
+				eng.Close()
+				return fmt.Errorf("engine-reuse/exec=%s warm-up: %w", ex, err)
+			}
+		}
+		e := measure(stdout, fmt.Sprintf("engine-reuse/exec=%s", ex), nEng, 512, func() pram.Stats {
+			if err := eng.RunInto(ctx, req, &res); err != nil {
+				runErr = fmt.Errorf("engine-reuse/exec=%s: %w", ex, err)
+			}
+			return res.Stats
+		})
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		rep.Benches = append(rep.Benches, e)
+		eng.Close()
+		if runErr != nil {
+			return runErr
+		}
+	}
 	{
 		e := measure(stdout, "engine-reuse/machine=cold", nEng, 512, func() pram.Stats {
 			m := pram.New(512)
@@ -344,7 +375,10 @@ func run(args []string, stdout *os.File) error {
 	// body loop swamps the µs-scale dispatch signal in host noise.
 	nOver := 1 << 10
 	baseline := make(map[int]float64)
-	for _, exec := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled} {
+	// Native appears here too: a plain ParFor on a Native machine takes
+	// the simulated fallback dispatch, so its overhead row measures the
+	// fallback path (expected ≈ pooled), not the team kernels.
+	for _, exec := range []pram.Exec{pram.Sequential, pram.Goroutines, pram.Pooled, pram.Native} {
 		for _, p := range []int{4, 64, 1024} {
 			m := pram.New(p, pram.WithExec(exec), pram.WithWorkers(4))
 			e := measure(stdout, fmt.Sprintf("executor-overhead/%s/p=%d", exec, p), nOver, p, func() pram.Stats {

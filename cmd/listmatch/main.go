@@ -7,6 +7,7 @@
 //	listmatch -n 1048576 -p 4096 -algo match4 -i 3
 //	listmatch -n 16 -gen zigzag -render
 //	listmatch -n 100000 -exec pooled -verify
+//	listmatch -n 1048576 -exec native   # fast-path kernels, zero simulated cost
 //
 // Exit status: 0 on success, 1 on a runtime or verification failure,
 // 2 on a usage error (bad flag value, unknown generator/executor).
@@ -55,7 +56,7 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	useTable := fs.Bool("table", false, "use the Lemma 5 table partition in Match4")
 	goroutines := fs.Bool("goroutines", false, "execute simulated steps on a goroutine pool (same as -exec goroutines)")
-	execFlag := fs.String("exec", "", "executor: sequential|goroutines|pooled (overrides -goroutines)")
+	execFlag := fs.String("exec", "", "executor: sequential|goroutines|pooled|native (overrides -goroutines)")
 	render := fs.Bool("render", false, "draw the bisecting-line view (small n)")
 	trace := fs.Bool("trace", false, "print a round-level trace summary and Gantt bar")
 	load := fs.String("load", "", "read the list from a file written with -save instead of generating")
@@ -126,8 +127,13 @@ func run(args []string, out *os.File) error {
 		exec = pram.Goroutines
 	case "pooled":
 		exec = pram.Pooled
+	case "native":
+		exec = pram.Native
 	default:
 		return usagef("unknown executor %q", *execFlag)
+	}
+	if *trace && exec == pram.Native {
+		return usagef("-trace needs the simulated round stream, which the native executor's fast-path kernels bypass; use -exec pooled or -exec sequential")
 	}
 	var tracer *pram.Tracer
 	if *trace {

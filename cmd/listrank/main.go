@@ -8,6 +8,7 @@
 //
 //	listrank -n 65536 -p 512
 //	listrank -n 1048576 -p 4096 -exec pooled
+//	listrank -n 1048576 -exec native    # fast-path kernels, zero simulated cost
 //
 // Exit status: 0 on success, 1 on a runtime or verification failure,
 // 2 on a usage error (bad flag value, unknown executor).
@@ -50,7 +51,7 @@ func run(args []string, out *os.File) error {
 	n := fs.Int("n", 1<<16, "list size")
 	p := fs.Int("p", 256, "simulated PRAM processors")
 	seed := fs.Int64("seed", 1, "generator seed")
-	execFlag := fs.String("exec", "sequential", "executor: sequential|goroutines|pooled")
+	execFlag := fs.String("exec", "sequential", "executor: sequential|goroutines|pooled|native")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
@@ -68,6 +69,11 @@ func run(args []string, out *os.File) error {
 		exec = pram.Goroutines
 	case "pooled":
 		exec = pram.Pooled
+	case "native":
+		// Native serves contraction and wyllie through the splitter-walk
+		// kernel (zero simulated time/work); loadbalanced and randommate
+		// fall back to the simulated machine with full accounting.
+		exec = pram.Native
 	default:
 		return usagef("unknown executor %q", *execFlag)
 	}

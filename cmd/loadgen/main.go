@@ -20,6 +20,7 @@
 //
 //	loadgen -n 4096 -p 256 -engines 4 -conc 1,2,4,8 -requests 256
 //	loadgen -n 4096,300 -engines 2 -qps 500 -requests 1000
+//	loadgen -n 65536 -exec native -conc 1,4 -requests 256
 //	loadgen -listen :9090 -trace out.json
 //	loadgen -smoke                       # tiny CI smoke run
 //
@@ -46,6 +47,7 @@ import (
 	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/obs"
+	"parlist/internal/pram"
 )
 
 // usageError marks failures caused by bad invocation rather than by the
@@ -96,6 +98,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	nFlag := fs.String("n", "4096", "list size(s), comma-separated; requests cycle through them")
 	p := fs.Int("p", 256, "simulated PRAM processors")
+	execFlag := fs.String("exec", "sequential", "per-engine executor: sequential|goroutines|pooled|native")
 	enginesN := fs.Int("engines", 2, "engines in the pool")
 	concFlag := fs.String("conc", "1,2,4", "closed-loop concurrency sweep, comma-separated")
 	requests := fs.Int("requests", 128, "requests per sweep level (total in -qps mode)")
@@ -130,6 +133,23 @@ func run(args []string, out *os.File) error {
 	if *requests < 1 {
 		return usagef("-requests must be >= 1 (got %d)", *requests)
 	}
+	var exec pram.Exec
+	switch *execFlag {
+	case "sequential":
+		exec = pram.Sequential
+	case "goroutines":
+		exec = pram.Goroutines
+	case "pooled":
+		exec = pram.Pooled
+	case "native":
+		// The default matching request runs Match4 through the native
+		// fast-path kernels; Stats report zero simulated time/work for it.
+		// loadgen never attaches fault plans, so no request can hit
+		// engine.ErrNativeUnsupported.
+		exec = pram.Native
+	default:
+		return usagef("unknown executor %q", *execFlag)
+	}
 
 	lists := make([]*list.List, len(sizes))
 	for i, n := range sizes {
@@ -162,12 +182,12 @@ func run(args []string, out *os.File) error {
 		QueueDepth: *queueDepth,
 		CacheSize:  *cache,
 		Observer:   collector,
-		Engine:     engine.Config{Processors: *p},
+		Engine:     engine.Config{Processors: *p, Exec: exec},
 	})
 	defer pool.Close()
 
-	fmt.Fprintf(out, "loadgen: engines=%d queue=%d cache=%d p=%d sizes=%v\n",
-		*enginesN, *queueDepth, *cache, *p, sizes)
+	fmt.Fprintf(out, "loadgen: engines=%d queue=%d cache=%d p=%d exec=%s sizes=%v\n",
+		*enginesN, *queueDepth, *cache, *p, exec, sizes)
 
 	if *qps > 0 {
 		if err := openLoop(out, pool, lists, *requests, *qps); err != nil {

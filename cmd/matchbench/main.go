@@ -1,12 +1,13 @@
-// Command matchbench runs the reproduction experiment suite (E1–E16,
+// Command matchbench runs the reproduction experiment suite (E1–E18,
 // see DESIGN.md) and prints the result tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	matchbench               # run every experiment at full scale
-//	matchbench -exp E7       # one experiment
-//	matchbench -quick        # shrunken sweeps
+//	matchbench                        # run every experiment at full scale
+//	matchbench -exp E7                # one experiment
+//	matchbench -quick                 # shrunken sweeps
+//	matchbench -exp E16 -exec native  # serving-layer sweep on the native executor
 //
 // Exit status: 0 on success, 1 on a runtime failure, 2 on a usage
 // error (unknown flag or experiment ID).
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"parlist/internal/harness"
+	"parlist/internal/pram"
 )
 
 // usageError marks failures caused by bad invocation rather than by the
@@ -49,11 +51,25 @@ func run(args []string, out *os.File) error {
 	quick := fs.Bool("quick", false, "shrink the sweeps")
 	seed := fs.Int64("seed", 1, "list-generation seed")
 	check := fs.Bool("verify", false, "re-check experiment outputs with the independent verifiers")
+	execFlag := fs.String("exec", "", "override the serving-layer experiments' executor (E16/E17): sequential|goroutines|pooled|native")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
 
 	cfg := harness.Config{Quick: *quick, Seed: *seed, Verify: *check}
+	switch *execFlag {
+	case "":
+	case "sequential":
+		cfg.Exec, cfg.ExecSet = pram.Sequential, true
+	case "goroutines":
+		cfg.Exec, cfg.ExecSet = pram.Goroutines, true
+	case "pooled":
+		cfg.Exec, cfg.ExecSet = pram.Pooled, true
+	case "native":
+		cfg.Exec, cfg.ExecSet = pram.Native, true
+	default:
+		return usagef("unknown executor %q", *execFlag)
+	}
 	var suite []harness.Experiment
 	if *exp == "" {
 		suite = harness.All()

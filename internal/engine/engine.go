@@ -119,6 +119,11 @@ var (
 	ErrBadIterations = errors.New("partition iterations must be ≥ 1")
 	// ErrUnknownOp reports a Request.Op outside the known set.
 	ErrUnknownOp = errors.New("unknown operation")
+	// ErrNativeUnsupported reports a request feature the Native executor
+	// cannot honour (currently: per-request fault plans, whose
+	// (round, worker) coordinates are defined by the simulated round
+	// stream the native kernels bypass).
+	ErrNativeUnsupported = errors.New("not supported by the native executor")
 )
 
 // Config fixes an Engine's machine shape. The simulated processor count
@@ -252,6 +257,10 @@ type Engine struct {
 	wsp         *ws.Workspace
 	runner      *matching.Runner
 	runnerIters int
+	native      *matching.NativeRunner // Exec == pram.Native fast path
+	nativeIters int
+	nativePart  *partition.NativeRunner // native partition kernel
+	nativeWalk  *rank.NativeWalker      // native rank/prefix kernel
 	evals       map[evalKey]*partition.Evaluator
 	mres        matching.Result // runner output scratch
 
@@ -371,6 +380,9 @@ func (e *Engine) serve(req Request, res *Result) error {
 	if p < 1 {
 		return fmt.Errorf("engine: %d %w", p, ErrBadProcessors)
 	}
+	if e.cfg.Exec == pram.Native && req.Faults != nil {
+		return fmt.Errorf("engine: fault plans: %w", ErrNativeUnsupported)
+	}
 	if e.m == nil || e.m.Processors() != p || e.m.Degraded() {
 		e.rebuild(p)
 	}
@@ -422,6 +434,9 @@ func (e *Engine) rebuild(p int) {
 	}
 	e.m = pram.New(p, opts...)
 	e.runner = nil // bound to the old machine
+	e.native = nil
+	e.nativePart = nil
+	e.nativeWalk = nil
 }
 
 // eval returns the cached evaluator for (variant, list size).
@@ -471,7 +486,17 @@ func (e *Engine) dispatch(req Request, res *Result) (err error) {
 		if req.Iters < 1 {
 			return fmt.Errorf("engine: i=%d: %w", req.Iters, ErrBadIterations)
 		}
-		lab, rng := matching.PartitionIterated(m, l, e.eval(req.Variant, n), req.Iters)
+		var lab []int
+		var rng int
+		if e.cfg.Exec == pram.Native {
+			if e.nativePart == nil {
+				e.nativePart = partition.NewNativeRunner(m)
+			}
+			lab = e.nativePart.Iterate(l, e.eval(req.Variant, n), req.Iters)
+			rng = partition.RangeAfter(n, req.Iters)
+		} else {
+			lab, rng = matching.PartitionIterated(m, l, e.eval(req.Variant, n), req.Iters)
+		}
 		res.Labels = append(res.Labels, lab...)
 		res.Sets = rng
 		res.Rounds = req.Iters
@@ -495,10 +520,21 @@ func (e *Engine) dispatch(req Request, res *Result) (err error) {
 		var rk []int
 		var err error
 		switch scheme {
-		case RankContraction:
-			rk, _, err = rank.Rank(m, l, nil)
-		case RankWyllie:
-			rk = rank.WyllieRank(m, l)
+		case RankContraction, RankWyllie:
+			// Ranks are unique, so the native splitter-walk kernel is
+			// output-identical to either simulated scheme.
+			if e.cfg.Exec == pram.Native {
+				if e.nativeWalk == nil {
+					e.nativeWalk = rank.NewNativeWalker(m)
+				}
+				rk = e.nativeWalk.Rank(l)
+				break
+			}
+			if scheme == RankContraction {
+				rk, _, err = rank.Rank(m, l, nil)
+			} else {
+				rk = rank.WyllieRank(m, l)
+			}
 		case RankLoadBalanced:
 			rk, _, err = rank.LoadBalancedRank(m, l)
 		case RankRandomMate:
@@ -514,7 +550,16 @@ func (e *Engine) dispatch(req Request, res *Result) (err error) {
 		if len(req.Values) != n {
 			return fmt.Errorf("engine: %d values for %d nodes: %w", len(req.Values), n, ErrBadValues)
 		}
-		out, _, err := rank.Prefix(m, l, req.Values, nil)
+		var out []int
+		var err error
+		if e.cfg.Exec == pram.Native {
+			if e.nativeWalk == nil {
+				e.nativeWalk = rank.NewNativeWalker(m)
+			}
+			out = e.nativeWalk.Prefix(l, req.Values)
+		} else {
+			out, _, err = rank.Prefix(m, l, req.Values, nil)
+		}
 		if err != nil {
 			return err
 		}
@@ -554,6 +599,22 @@ func (e *Engine) runMatching(req Request, res *Result) error {
 	switch algo {
 	case AlgoMatch4:
 		if !req.UseTable && req.Variant == partition.MSB {
+			if e.cfg.Exec == pram.Native {
+				if e.native == nil || e.nativeIters != i {
+					e.native, err = matching.NewNativeRunner(m, i)
+					if err != nil {
+						return err
+					}
+					e.nativeIters = i
+				}
+				if err := e.native.Run(l, &e.mres); err != nil {
+					return err
+				}
+				r = &e.mres
+				e.copyMatching(r, res)
+				e.m.SnapshotInto(&res.Stats)
+				return nil
+			}
 			if e.runner == nil || e.runnerIters != i {
 				e.runner, err = matching.NewRunner(m, i)
 				if err != nil {

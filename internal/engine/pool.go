@@ -334,9 +334,12 @@ func (p *EnginePool) dispatch(s *shard) {
 // serve runs one admitted request on s's engine and resolves its
 // Future. A request whose ctx expired while queued is resolved without
 // touching the engine.
+//
+// The load counter must drop BEFORE the future resolves: a caller
+// chaining Wait → Submit otherwise races the decrement, sees the shard
+// still busy, and spills off its pinned engine — losing arena affinity
+// for strictly serial traffic.
 func (p *EnginePool) serve(s *shard, f *Future) {
-	defer s.pending.Add(-1)
-
 	start := time.Now()
 	wait := start.Sub(f.enq)
 	s.queueWaitNs.Add(int64(wait))
@@ -346,6 +349,7 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 	f.m = RequestMetrics{Engine: s.id, QueueWait: wait}
 	if err := f.ctx.Err(); err != nil {
 		s.canceled.Add(1)
+		s.pending.Add(-1)
 		f.resolve(nil, err)
 		return
 	}
@@ -357,6 +361,7 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 	s.served.Add(1)
 	if err != nil {
 		s.failures.Add(1)
+		s.pending.Add(-1)
 		f.resolve(nil, err)
 		return
 	}
@@ -365,6 +370,7 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 			p.cache.put(key, cloneResult(res))
 		}
 	}
+	s.pending.Add(-1)
 	f.resolve(res, nil)
 }
 

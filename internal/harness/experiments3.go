@@ -188,8 +188,10 @@ func runE16(cfg Config) ([]*Table, error) {
 	l := list.RandomList(n, cfg.Seed)
 	ctx := context.Background()
 
-	// Reference result from a dedicated single engine.
-	ref := engine.New(engine.Config{Processors: 256})
+	// Reference result from a dedicated single engine (same executor as
+	// the pool's engines, so the Stats.Time comparison is apples-to-apples
+	// under a matchbench -exec override too).
+	ref := engine.New(engine.Config{Processors: 256, Exec: cfg.exec(pram.Sequential)})
 	want, err := ref.Run(ctx, engine.Request{List: l})
 	if err != nil {
 		ref.Close()
@@ -208,7 +210,7 @@ func runE16(cfg Config) ([]*Table, error) {
 			p := engine.NewPool(engine.PoolConfig{
 				Engines:    engines,
 				QueueDepth: 2 * conc,
-				Engine:     engine.Config{Processors: 256},
+				Engine:     engine.Config{Processors: 256, Exec: cfg.exec(pram.Sequential)},
 			})
 			per := requests / conc
 			if per < 1 {

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E1–E17 (see
+// Package harness runs the reproduction experiments E1–E18 (see
 // DESIGN.md): each of the paper's lemmas and theorems is exercised over
 // parameter sweeps and rendered as a text table comparing measured PRAM
 // step counts against the paper's bounds.
@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"parlist/internal/list"
+	"parlist/internal/pram"
 	"parlist/internal/verify"
 )
 
@@ -23,6 +24,21 @@ type Config struct {
 	// validate results with the algorithm-side checkers; this adds the
 	// from-first-principles pass on top.
 	Verify bool
+	// Exec, when ExecSet, overrides the executor behind the serving-layer
+	// experiments (E16, E17; matchbench -exec). Experiments that ablate
+	// executors themselves (E11, E18) ignore it, as do the simulated-cost
+	// reproductions E1–E15, whose step counts are executor-independent.
+	Exec    pram.Exec
+	ExecSet bool
+}
+
+// exec returns the serving-layer executor: the override when set, the
+// experiment's default otherwise.
+func (cfg Config) exec(def pram.Exec) pram.Exec {
+	if cfg.ExecSet {
+		return cfg.Exec
+	}
+	return def
 }
 
 // checkMatching applies the independent maximal-matching checker when
@@ -144,6 +160,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "Design-choice ablations", Run: runE15},
 		{ID: "E16", Title: "Serving layer: EnginePool scaling across engines × concurrency", Run: runE16},
 		{ID: "E17", Title: "Observability: queue-wait and barrier-wait imbalance across pool sizes", Run: runE17},
+		{ID: "E18", Title: "Native fast-path executor vs pooled on the warm-engine path", Run: runE18},
 	}
 }
 

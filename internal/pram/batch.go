@@ -15,9 +15,11 @@ package pram
 // coordinating goroutine in program order, so loops whose trip count or
 // bounds depend on earlier rounds' results work unchanged.
 //
-// On the Sequential and Goroutines executors (and on a Pooled machine
-// with a single worker or after Close) Batch is a transparent wrapper:
-// the primitives execute exactly as their Machine counterparts.
+// On the Sequential and Goroutines executors (and on a Pooled or Native
+// machine with a single worker or after Close) Batch is a transparent
+// wrapper: the primitives execute exactly as their Machine counterparts.
+// On a Native machine, fusing applies to the simulated fallback rounds;
+// RunTeam refuses to dispatch inside an open batch.
 type Batch struct {
 	m *Machine
 }
@@ -28,7 +30,7 @@ type Batch struct {
 // workers are released when f returns. Nested Batch calls fuse into the
 // enclosing group.
 func (m *Machine) Batch(f func(b *Batch)) {
-	if m.exec == Pooled && m.pool != nil && m.workers > 1 && !m.fused {
+	if (m.exec == Pooled || m.exec == Native) && m.pool != nil && m.workers > 1 && !m.fused {
 		m.pool.beginBatch()
 		m.fused = true
 		defer func() {

@@ -6,7 +6,7 @@
 // (Time) along with total operations (Work), so measured step counts can
 // be compared directly against bounds such as O(n·log i/p + log^(i) n).
 //
-// Three executors are provided. The sequential executor runs every
+// Four executors are provided. The sequential executor runs every
 // simulated processor in program order and is fully deterministic. The
 // goroutine executor shards each round across freshly spawned goroutines
 // — the "goroutines for simulated PRAM steps" substitution — and yields
@@ -15,7 +15,13 @@
 // the per-round spawn with a persistent worker pool (pool.go) woken per
 // round, plus a fused-round fast path (Machine.Batch) that amortizes one
 // wake across many consecutive rounds; accounting is executor-independent,
-// so all three produce bit-identical Stats.
+// so all three produce bit-identical Stats. The native executor (Native,
+// native.go) leaves the simulation behind for selected hot operations:
+// it reuses the pooled machine's workers through the SPMD RunTeam
+// primitive — per-worker chunk ownership, explicit barriers, no step
+// charging — while every simulated primitive still dispatches exactly
+// like Pooled, so operations without a native kernel remain bit-identical
+// to the other executors.
 //
 // Algorithms written against the Machine must respect the owner-writes
 // contract: within one ParFor round a body may write only cells it owns
@@ -75,6 +81,14 @@ const (
 	// in New — no per-round goroutine spawning — and supports fused
 	// dispatch of consecutive rounds via Machine.Batch.
 	Pooled
+	// Native is the fast-path execution mode: simulated primitives
+	// dispatch exactly like Pooled (so non-native code paths stay
+	// bit-identical), and additionally the machine exposes RunTeam
+	// (native.go), the SPMD primitive the direct work-parallel kernels
+	// in rank/partition/matching run on — no step charging, no
+	// synchronous-read shadow copies, only the barriers the dependence
+	// structure requires.
+	Native
 )
 
 // String returns the executor name.
@@ -86,6 +100,8 @@ func (e Exec) String() string {
 		return "goroutines"
 	case Pooled:
 		return "pooled"
+	case Native:
+		return "native"
 	}
 	return fmt.Sprintf("exec(%d)", int(e))
 }
@@ -170,6 +186,10 @@ type Machine struct {
 	// batch performs no allocation on the steady-state request path.
 	workspace *ws.Workspace
 	batch     Batch
+
+	// inlineTeam is the reused single-party context RunTeam hands to
+	// native kernels when no worker pool is available (native.go).
+	inlineTeam TeamCtx
 }
 
 type resetter interface{ beginRound(base int64) }
@@ -224,7 +244,7 @@ func New(p int, opts ...Option) *Machine {
 	if m.workers < 1 {
 		m.workers = 1
 	}
-	if m.exec == Pooled && m.workers > 1 {
+	if (m.exec == Pooled || m.exec == Native) && m.workers > 1 {
 		m.pool = newPool(m.workers - 1)
 		m.pool.faults = m.faults
 		m.pool.watchdog = m.watchdog
@@ -257,13 +277,13 @@ func (m *Machine) Processors() int { return m.p }
 // helpers treat nil as "allocate with make".
 func (m *Machine) Workspace() *ws.Workspace { return m.workspace }
 
-// Degraded reports whether a Pooled machine has lost its persistent
-// workers (a recovered WorkerPanic or BarrierStall tore the pool down,
-// or Close was called) and now executes rounds inline. Long-lived
-// owners use this to decide to rebuild the machine rather than serve
-// follow-up requests degraded.
+// Degraded reports whether a Pooled or Native machine has lost its
+// persistent workers (a recovered WorkerPanic or BarrierStall tore the
+// pool down, or Close was called) and now executes rounds inline.
+// Long-lived owners use this to decide to rebuild the machine rather
+// than serve follow-up requests degraded.
 func (m *Machine) Degraded() bool {
-	return m.exec == Pooled && m.workers > 1 && m.pool == nil
+	return (m.exec == Pooled || m.exec == Native) && m.workers > 1 && m.pool == nil
 }
 
 // Executor returns the configured executor.
@@ -583,7 +603,7 @@ func (m *Machine) dispatch(n int, body func(i int)) bool {
 		if rec := m.runChunks(n, body); rec != nil {
 			panic(rec)
 		}
-	case m.exec == Pooled && m.pool != nil:
+	case (m.exec == Pooled || m.exec == Native) && m.pool != nil:
 		if err := m.pool.run(n, body); err != nil {
 			m.failPool(err)
 		}

@@ -57,13 +57,19 @@ type CheckedArray struct {
 // Access-discipline checking needs the Sequential executor: conflict
 // attribution relies on the deterministic virtual-time interleaving the
 // sequential simulator drives, and the bookkeeping map is not safe for
-// concurrent bodies. Under a parallel executor the array auto-degrades
-// instead of panicking: it still stores and returns values (race-free
-// under the same owner-writes contract as any plain array), but records
-// no accesses and reports no violations, and the degradation is noted
-// in the machine's Stats.Notes — so model checks compose with
-// ExecPooled/ExecGoroutines runs, with the unverified discipline
-// visibly marked rather than crashing.
+// concurrent bodies. Under a parallel executor (pram.Goroutines,
+// pram.Pooled — parlist re-exports them as ExecGoroutines/ExecPooled —
+// or pram.Native) the array auto-degrades instead of panicking: it
+// still stores and returns values (race-free under the same
+// owner-writes contract as any plain array), but records no accesses
+// and reports no violations, and the degradation is noted in the
+// machine's Stats.Notes — so model checks compose with parallel runs,
+// with the unverified discipline visibly marked rather than crashing.
+// The Native executor's team kernels (native.go) never touch
+// CheckedArrays at all: they run outside the simulated round structure
+// entirely, so there is no per-step access discipline to check — their
+// correctness is established by output equivalence against the
+// Sequential executor, not by model checking.
 func NewCheckedArray(m *Machine, model Model, name string, n int) *CheckedArray {
 	a := &CheckedArray{
 		m:     m,

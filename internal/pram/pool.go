@@ -79,6 +79,14 @@ type pool struct {
 	// paths never read a clock.
 	obsv Observer
 
+	// spmd is the team body published by RunTeam (native.go); teamCtxs
+	// are the pre-allocated per-party contexts (index 0 = coordinator),
+	// so dispatching a team performs no allocation. teamStall is the
+	// coordinator-side stall captured when its barrier gave up mid-team.
+	spmd      func(*TeamCtx)
+	teamCtxs  []TeamCtx
+	teamStall *BarrierStall
+
 	closed bool
 }
 
@@ -102,6 +110,7 @@ type poolMsg uint8
 const (
 	msgRun   poolMsg = iota // execute the published op, then re-park
 	msgBatch                // enter the barrier-driven batch loop
+	msgSPMD                 // run the published team body once (native.go)
 )
 
 // workerSlot is per-worker state, padded to a cache line so adjacent
@@ -122,8 +131,16 @@ func newPool(background int) *pool {
 	p := &pool{
 		background: background,
 		slots:      make([]workerSlot, background),
-		done:       make(chan struct{}),
-		parties:    int32(background) + 1,
+		// The one-slot buffer lets the last worker of an abandoned team
+		// post its completion signal without blocking (native.go); the
+		// single-round mode's strict send/receive alternation is
+		// unaffected.
+		done:    make(chan struct{}, 1),
+		parties: int32(background) + 1,
+	}
+	p.teamCtxs = make([]TeamCtx, background+1)
+	for i := range p.teamCtxs {
+		p.teamCtxs[i] = TeamCtx{pool: p, Worker: i, Workers: background + 1}
 	}
 	for q := range p.slots {
 		p.slots[q].wake = make(chan poolMsg, 1)
@@ -167,6 +184,11 @@ func (p *pool) worker(q int) {
 					break
 				}
 			}
+		case msgSPMD:
+			if !p.runTeamParty(q + 1) {
+				return
+			}
+			slot.rounds++
 		}
 	}
 }
@@ -378,6 +400,12 @@ func (p *pool) coordBarrier() *BarrierStall {
 		case spins < 4096:
 			runtime.Gosched()
 		default:
+			if p.aborted.Load() {
+				// Another party failed and will never arrive (a team
+				// party's recovered panic sets aborted; batch-mode chunk
+				// recovery does not, so this branch is team-only).
+				return &BarrierStall{Round: p.rounds, Missing: p.missing(gen)}
+			}
 			if p.watchdog > 0 {
 				now := time.Now()
 				if start.IsZero() {

@@ -144,6 +144,16 @@ func (w *Workspace) Bools(n int) []bool {
 	return s
 }
 
+// BoolsNoZero is Bools without the clear, for buffers the caller fully
+// overwrites (or clears chunk-parallel, as the native kernels do)
+// before reading. Contents are arbitrary.
+func (w *Workspace) BoolsNoZero(n int) []bool {
+	if n <= 0 {
+		return nil
+	}
+	return get(&w.stats, &w.bools, n)
+}
+
 // Reset starts a new epoch: every slice handed out since the previous
 // Reset returns to its free list and must no longer be used.
 func (w *Workspace) Reset() {
@@ -186,4 +196,13 @@ func Bools(w *Workspace, n int) []bool {
 		return make([]bool, n)
 	}
 	return w.Bools(n)
+}
+
+// BoolsNoZero returns a bool slice of length n with arbitrary contents
+// from w, or make(n) (zeroed, as always) when w is nil.
+func BoolsNoZero(w *Workspace, n int) []bool {
+	if w == nil {
+		return make([]bool, n)
+	}
+	return w.BoolsNoZero(n)
 }

@@ -49,11 +49,16 @@ type (
 	PhaseStat = pram.PhaseStat
 )
 
-// Executor selectors.
+// Executor selectors. ExecNative is the fast-path mode: the hot
+// operations (Match4 matching, partition, list ranks, prefix) run as
+// direct work-parallel kernels with no simulated step charging
+// (Stats report zero Time/Work for them); every other operation falls
+// back to the pooled machine and keeps its exact simulated accounting.
 const (
 	ExecSequential = pram.Sequential
 	ExecGoroutines = pram.Goroutines
 	ExecPooled     = pram.Pooled
+	ExecNative     = pram.Native
 )
 
 // Matching-partition-function variants.
