@@ -33,6 +33,11 @@
 // with the engine count; on the 1-CPU bench host allocs/op and queue
 // wait are the stable metrics (see CHANGES.md PR 1 note).
 //
+// The pool-resilience entries run audited chaos soaks (internal/chaos)
+// at fault_rate = 0 and 5% with retries enabled, reporting success_rate
+// (availability; the 5% row must stay ≥ 99.9%), retries_per_request,
+// and end-to-end p99_ns — the tail cost of riding out the faults.
+//
 // Exit status: 0 on success, 1 on a runtime failure, 2 on a usage error.
 package main
 
@@ -49,6 +54,7 @@ import (
 	"testing"
 	"time"
 
+	"parlist/internal/chaos"
 	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/matching"
@@ -79,6 +85,12 @@ type Entry struct {
 	QueueWaitP99Ns float64 `json:"queue_wait_p99_ns,omitempty"`
 	ServiceP50Ns   float64 `json:"service_p50_ns,omitempty"`
 	ServiceP99Ns   float64 `json:"service_p99_ns,omitempty"`
+	// Resilience rows (pool-resilience/*): availability over admitted
+	// requests and the retry layer's work rate at the entry's injected
+	// fault rate.
+	FaultRate         float64 `json:"fault_rate,omitempty"`
+	SuccessRate       float64 `json:"success_rate,omitempty"`
+	RetriesPerRequest float64 `json:"retries_per_request,omitempty"`
 }
 
 // Report is the emitted document.
@@ -365,6 +377,43 @@ func run(args []string, stdout *os.File) error {
 		}
 		fmt.Fprintf(stdout, "%-40s %12.0f ns/op %8d allocs/op %12.0f req/s %10.0f p99-ns (queue p99 %0.f ns, service p99 %0.f ns)\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.RequestsPerSec, e.P99Ns, e.QueueWaitP99Ns, e.ServiceP99Ns)
+		rep.Benches = append(rep.Benches, e)
+	}
+
+	// Pool resilience: audited chaos soaks (internal/chaos) at fault
+	// rate 0 vs 5%, retries on, kills and deadline pressure off so the
+	// fault-rate axis is the only variable. success_rate is the
+	// availability headline (the 5% row must stay ≥ 99.9% — the E19 /
+	// CI acceptance floor), retries_per_request is its price, and the
+	// p99_ns gap between the rows is what a retried request's failed
+	// first attempt plus backoff costs the tail.
+	for _, fr := range []float64{0, 0.05} {
+		nSoak := 2000
+		if *quick {
+			nSoak = 300
+		}
+		sc := chaos.Config{Requests: nSoak, Seed: seed, FaultRate: fr, DeadlineRate: -1, KillEvery: -1}
+		if fr == 0 {
+			sc.FaultRate = -1
+		}
+		crep, err := chaos.Soak(sc)
+		if err != nil {
+			return fmt.Errorf("pool-resilience fault_rate=%g: %w", fr, err)
+		}
+		e := Entry{
+			Name:              fmt.Sprintf("pool-resilience/fault_rate=%g", fr),
+			N:                 2048, // the soak's dominant size class
+			P:                 64,
+			Iters:             int(crep.Admitted),
+			NsPerOp:           float64(crep.Elapsed.Nanoseconds()) / float64(crep.Admitted),
+			P99Ns:             float64(crep.P99.Nanoseconds()),
+			FaultRate:         fr,
+			SuccessRate:       crep.SuccessRate(),
+			RetriesPerRequest: float64(crep.Retries) / float64(crep.Admitted),
+		}
+		e.RequestsPerSec = 1e9 / e.NsPerOp
+		fmt.Fprintf(stdout, "%-40s %12.0f ns/op  success=%.4f retries/req=%.3f p99-ns=%.0f\n",
+			e.Name, e.NsPerOp, e.SuccessRate, e.RetriesPerRequest, e.P99Ns)
 		rep.Benches = append(rep.Benches, e)
 	}
 

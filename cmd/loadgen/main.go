@@ -23,6 +23,14 @@
 //	loadgen -n 65536 -exec native -conc 1,4 -requests 256
 //	loadgen -listen :9090 -trace out.json
 //	loadgen -smoke                       # tiny CI smoke run
+//	loadgen -chaos                       # resilience soak: faults, kills, deadlines
+//	loadgen -chaos -smoke                # scaled-down soak for CI (run under -race)
+//
+// In -chaos mode loadgen hands the run to internal/chaos: thousands of
+// requests with injected fault plans, random engine kills and deadline
+// pressure, audited for exactly-once Future resolution, bit-identical
+// successes, typed failures and zero goroutine leaks. Any violated
+// invariant exits 1.
 //
 // Exit status: 0 on success, 1 on a runtime failure (including any
 // request returning a wrong-shaped result), 2 on a usage error.
@@ -44,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"parlist/internal/chaos"
 	"parlist/internal/engine"
 	"parlist/internal/list"
 	"parlist/internal/obs"
@@ -109,8 +118,13 @@ func run(args []string, out *os.File) error {
 	listen := fs.String("listen", "", "serve /metrics and /debug/pprof on this address; keeps serving after the run until SIGINT")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of algorithm phases to this file")
 	smoke := fs.Bool("smoke", false, "tiny fixed run for CI smoke tests")
+	chaosMode := fs.Bool("chaos", false, "run the resilience chaos soak instead of the latency sweep")
+	faultRate := fs.Float64("fault-rate", 0.20, "chaos: fraction of requests carrying a panic fault plan")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
+	}
+	if *chaosMode {
+		return runChaos(out, *enginesN, *seed, *faultRate, *smoke)
 	}
 	if *smoke {
 		*nFlag, *concFlag = "1024,300", "1,2"
@@ -235,6 +249,37 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 	}
+	return nil
+}
+
+// runChaos hands the run to the chaos soak harness and renders its
+// report. -smoke scales the soak to CI size (it still injects faults,
+// kills and deadline pressure — only the request count shrinks).
+func runChaos(out *os.File, engines int, seed int64, faultRate float64, smoke bool) error {
+	cfg := chaos.Config{Engines: engines, Seed: seed, FaultRate: faultRate}
+	if cfg.Seed == 1 {
+		cfg.Seed = 42
+	}
+	if smoke {
+		cfg.Requests = 500
+		cfg.KillEvery = 100
+	}
+	fmt.Fprintf(out, "chaos: engines=%d seed=%d fault-rate=%.0f%% smoke=%v\n",
+		engines, cfg.Seed, faultRate*100, smoke)
+	rep, err := chaos.Soak(cfg)
+	if rep != nil {
+		fmt.Fprintf(out, "chaos: %d requests in %v: %d succeeded (%.2f%%), %d transient, %d deadline, %d shed\n",
+			rep.Requests, rep.Elapsed.Round(time.Millisecond), rep.Succeeded,
+			100*rep.SuccessRate(), rep.TransientFailures, rep.DeadlineFailures, rep.Shed)
+		fmt.Fprintf(out, "chaos: %d retries, %d breaker trips, %d engine kills, %d deadline-exceeded\n",
+			rep.Retries, rep.Trips, rep.Kills, rep.DeadlineExceeded)
+		fmt.Fprintf(out, "chaos: lost=%d mismatches=%d unexpected=%d leaked=%d\n",
+			rep.Lost, rep.Mismatches, rep.Unexpected, rep.LeakedGoroutines)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaos: all invariants held\n")
 	return nil
 }
 

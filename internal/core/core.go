@@ -386,6 +386,25 @@ type EnginePool = engine.EnginePool
 // Future is a pending pool request's handle; see engine.Future.
 type Future = engine.Future
 
+// RetryPolicy bounds automatic retry of transient faults; see
+// engine.RetryPolicy.
+type RetryPolicy = engine.RetryPolicy
+
+// BreakerPolicy configures the per-engine circuit breaker; see
+// engine.BreakerPolicy.
+type BreakerPolicy = engine.BreakerPolicy
+
+// BreakerState is a shard breaker's health state; see
+// engine.BreakerState.
+type BreakerState = engine.BreakerState
+
+// Breaker states, reported per engine in PoolStats.
+const (
+	BreakerClosed   = engine.BreakerClosed
+	BreakerOpen     = engine.BreakerOpen
+	BreakerHalfOpen = engine.BreakerHalfOpen
+)
+
 // Re-exported pool sentinels, matchable with errors.Is.
 var (
 	// ErrQueueFull reports that Submit found the target engine's
@@ -393,6 +412,10 @@ var (
 	ErrQueueFull = engine.ErrQueueFull
 	// ErrPoolClosed reports a Submit or Do after Close.
 	ErrPoolClosed = engine.ErrPoolClosed
+	// ErrDeadlineExceeded reports a request that blew its
+	// Request.Deadline budget — queued or mid-service. Distinct from
+	// sheds (ErrQueueFull) and never retried.
+	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
 )
 
 // NewEnginePool returns a pool of cfg.Engines warm engines sharing one

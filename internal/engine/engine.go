@@ -124,6 +124,14 @@ var (
 	// (round, worker) coordinates are defined by the simulated round
 	// stream the native kernels bypass).
 	ErrNativeUnsupported = errors.New("not supported by the native executor")
+	// ErrDeadlineExceeded reports a request that ran out of budget —
+	// Request.Deadline or the context deadline — whether it was still
+	// queued or already mid-service (the machine aborts between rounds;
+	// see pram.DeadlineExceeded). Distinct from ErrQueueFull: a shed is
+	// the pool protecting itself, a deadline is the caller bounding its
+	// own wait, and the retry layer treats only the former as worth
+	// backing off for.
+	ErrDeadlineExceeded = errors.New("request deadline exceeded")
 )
 
 // Config fixes an Engine's machine shape. The simulated processor count
@@ -193,7 +201,23 @@ type Request struct {
 	// request only. Fault coordinates are request-relative: the pool's
 	// round counter rewinds to zero at every request, so the same plan
 	// hits the same rounds no matter how many requests ran before.
+	// A pool with a retry policy applies the plan to the first attempt
+	// only — it models an environment fault, which a retry on a healthy
+	// engine escapes.
 	Faults *pram.FaultPlan
+
+	// Deadline bounds the request's total latency: admission, queueing
+	// and service together (0 = unbounded). A request that exceeds it
+	// fails with ErrDeadlineExceeded — resolved without touching an
+	// engine when the budget dies in the queue, aborted between
+	// simulated rounds when it dies mid-service. A context deadline is
+	// honoured the same way; the earlier of the two wins.
+	Deadline time.Duration
+
+	// deadlineAt is the absolute deadline the pool derives from
+	// Deadline at admission, so queue time spends the same budget as
+	// service time. Zero for direct engine calls.
+	deadlineAt time.Time
 }
 
 // Result is one request's output. All slices are owned by the Result
@@ -252,7 +276,10 @@ type Engine struct {
 	// workspace and every non-atomic field below.
 	sem chan struct{}
 
-	closed      bool
+	closed bool
+	// killed forces a machine rebuild on the next request — set by
+	// Invalidate, the quarantine/chaos kill hook.
+	killed      bool
 	m           *pram.Machine
 	wsp         *ws.Workspace
 	runner      *matching.Runner
@@ -305,6 +332,25 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// Invalidate tears down the engine's warm machine: the worker pool is
+// released immediately and the next request pays a full rebuild (the
+// Stats.Rebuilds counter records it). It blocks until any in-flight
+// request finishes — the execution model has no mid-round preemption,
+// so this is the strongest kill an external caller can deliver without
+// wedging workers (mid-round deaths are modelled by injected fault
+// plans instead). A no-op on a closed or never-used engine. This is
+// the chaos harness's engine-kill hook and the quarantine rebuild
+// trigger; normal serving never needs it.
+func (e *Engine) Invalidate() {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	if e.closed || e.m == nil {
+		return
+	}
+	e.m.Close()
+	e.killed = true
+}
+
 // Run serves one request, allocating a fresh Result.
 func (e *Engine) Run(ctx context.Context, req Request) (*Result, error) {
 	res := new(Result)
@@ -326,6 +372,24 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	// The effective absolute deadline: the earliest of the context
+	// deadline, the pool-derived admission deadline, and the
+	// request-relative budget measured from here — computed before the
+	// semaphore wait so time spent queued behind the machine spends the
+	// same budget as service. Requests without any deadline skip the
+	// clock reads entirely.
+	var at time.Time
+	if d, ok := ctx.Deadline(); ok {
+		at = d
+	}
+	if !req.deadlineAt.IsZero() && (at.IsZero() || req.deadlineAt.Before(at)) {
+		at = req.deadlineAt
+	}
+	if req.Deadline > 0 {
+		if t := time.Now().Add(req.Deadline); at.IsZero() || t.Before(at) {
+			at = t
+		}
+	}
 	select {
 	case e.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -340,7 +404,7 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 		arena0 = e.wsp.Stats().BytesAllocated
 	}
 
-	err := e.serve(req, res)
+	err := e.serve(req, res, at)
 
 	if o := e.cfg.Observer; o != nil {
 		o.RequestObserved(req.Op.String(), time.Since(t0), err != nil,
@@ -365,8 +429,9 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 	return err
 }
 
-// serve runs one request under the semaphore.
-func (e *Engine) serve(req Request, res *Result) error {
+// serve runs one request under the semaphore. at is the absolute
+// deadline (zero = none).
+func (e *Engine) serve(req Request, res *Result, at time.Time) error {
 	if e.closed {
 		return fmt.Errorf("engine: %w", ErrClosed)
 	}
@@ -383,17 +448,28 @@ func (e *Engine) serve(req Request, res *Result) error {
 	if e.cfg.Exec == pram.Native && req.Faults != nil {
 		return fmt.Errorf("engine: fault plans: %w", ErrNativeUnsupported)
 	}
-	if e.m == nil || e.m.Processors() != p || e.m.Degraded() {
+	// A budget that died while the request waited (in the pool queue or
+	// behind this machine's semaphore) fails before any machine work.
+	if !at.IsZero() {
+		if now := time.Now(); now.After(at) {
+			return fmt.Errorf("engine: deadline passed %v before dispatch: %w", now.Sub(at), ErrDeadlineExceeded)
+		}
+	}
+	if e.m == nil || e.m.Processors() != p || e.m.Degraded() || e.killed {
+		e.killed = false
 		e.rebuild(p)
 	}
 
 	// Request prologue: recycle the scratch epoch, rewind the
 	// accounting, and (re)install this request's fault plan — the pool's
 	// round counter rewinds with it, so fault coordinates never depend
-	// on how many requests this machine served before.
+	// on how many requests this machine served before. The deadline is
+	// (re)armed every request, so a stale deadline can never leak from
+	// an aborted predecessor.
 	e.wsp.Reset()
 	e.m.Reset()
 	e.m.SetFaults(req.Faults)
+	e.m.SetDeadline(at)
 
 	n := req.List.Len()
 	if err := req.List.ValidateInto(e.wsp.Ints(n)); err != nil {
@@ -472,6 +548,11 @@ func (e *Engine) dispatch(req Request, res *Result) (err error) {
 			err = fmt.Errorf("engine: request failed: %w", f)
 		case *pram.BarrierStall:
 			err = fmt.Errorf("engine: request failed: %w", f)
+		case *pram.DeadlineExceeded:
+			// Unlike the two fault classes above this leaves the machine
+			// healthy: the abort fired between rounds, so no rebuild is
+			// charged to the next request.
+			err = fmt.Errorf("engine: aborted before round %d (%v over budget): %w", f.Round, f.Over, ErrDeadlineExceeded)
 		default:
 			panic(r)
 		}

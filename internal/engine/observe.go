@@ -38,3 +38,24 @@ type PoolObserver interface {
 	// CacheHitObserved reports a request answered from the result cache.
 	CacheHitObserved()
 }
+
+// ResilienceObserver receives resilience-layer observations from an
+// EnginePool whose PoolObserver also implements it. It is a separate
+// interface — not new methods on PoolObserver — so existing observers
+// keep compiling; like the others it is declared over basic types only.
+// Methods are called concurrently from dispatchers and the retry and
+// quarantine goroutines.
+type ResilienceObserver interface {
+	// RetryObserved reports one retry scheduled after a transient
+	// failure on the given engine.
+	RetryObserved(engine int)
+	// DeadlineExceededObserved reports a request failed with
+	// ErrDeadlineExceeded (queued, mid-service, or in retry backoff).
+	DeadlineExceededObserved()
+	// BreakerStateObserved reports engine's breaker entering state
+	// (int-coded BreakerState: 0 closed, 1 open, 2 half-open).
+	BreakerStateObserved(engine, state int)
+	// QuarantineObserved reports engine's readmission after quarantine,
+	// with the total open → closed duration.
+	QuarantineObserved(engine int, d time.Duration)
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parlist/internal/list"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 )
@@ -55,12 +56,21 @@ type PoolConfig struct {
 	// count, executor, worker cap, watchdog). Tracer is ignored:
 	// tracers are per-machine and would interleave across shards.
 	Engine Config
+	// Retry enables transparent retry of transient fault-class
+	// failures on a different shard (zero value = disabled); see
+	// RetryPolicy.
+	Retry RetryPolicy
+	// Breaker enables the per-engine circuit breaker and quarantine
+	// state machine (zero value = disabled); see BreakerPolicy.
+	Breaker BreakerPolicy
 	// Observer, when non-nil, receives admission-path observations
 	// (queue wait/depth, sheds, cache hits). If it also implements
 	// EngineObserver and Engine.Observer is unset, it is wired into
 	// every engine too, so one obs.Collector attached here instruments
 	// the whole stack: pool admission, engine requests, and (when it
-	// implements pram.Observer) simulator rounds and barriers.
+	// implements pram.Observer) simulator rounds and barriers. A value
+	// that additionally implements ResilienceObserver receives retry,
+	// breaker and deadline observations.
 	Observer PoolObserver
 }
 
@@ -72,8 +82,12 @@ type RequestMetrics struct {
 	Engine int
 	// QueueWait is the time between admission and the start of service.
 	QueueWait time.Duration
-	// Service is the engine-side service time (zero on a cache hit).
+	// Service is the engine-side service time of the final attempt
+	// (zero on a cache hit).
 	Service time.Duration
+	// Retries is how many re-attempts the request consumed (0 = served
+	// on the first try).
+	Retries int
 	// CacheHit reports that the result came from the result cache.
 	CacheHit bool
 }
@@ -86,6 +100,14 @@ type Future struct {
 	enq  time.Time
 	done chan struct{}
 
+	// deadline is the absolute budget derived from Request.Deadline at
+	// admission (zero = none); attempts counts retries consumed. Both
+	// are touched only by the goroutine currently responsible for the
+	// future (submitter → dispatcher → retry goroutine → dispatcher), a
+	// chain of happens-before edges through the queue sends.
+	deadline time.Time
+	attempts int
+
 	res *Result
 	err error
 	m   RequestMetrics
@@ -96,8 +118,13 @@ func (f *Future) Done() <-chan struct{} { return f.done }
 
 // Wait blocks until the request completes or ctx is done, returning the
 // request's result. The ctx passed here only bounds the wait — the
-// request itself keeps running under the ctx given to Submit.
+// request itself keeps running under the ctx given to Submit. An
+// already-done ctx returns its error immediately and deterministically,
+// even when the result is also ready (select would pick at random).
 func (f *Future) Wait(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case <-f.done:
 		return f.res, f.err
@@ -110,9 +137,12 @@ func (f *Future) Wait(ctx context.Context) (*Result, error) {
 // after Done's channel is closed.
 func (f *Future) Metrics() RequestMetrics { return f.m }
 
-// resolve publishes the outcome and wakes waiters. Called exactly once.
+// resolve publishes the outcome and wakes waiters. Called exactly once
+// (a second call panics on the closed channel — the chaos harness
+// leans on that to prove no future ever double-resolves).
 func (f *Future) resolve(res *Result, err error) {
 	f.res, f.err = res, err
+	f.m.Retries = f.attempts
 	close(f.done)
 }
 
@@ -133,9 +163,15 @@ type shard struct {
 	served      atomic.Int64
 	failures    atomic.Int64
 	canceled    atomic.Int64
+	retries     atomic.Int64
+	deadlined   atomic.Int64
 	queueWaitNs atomic.Int64
 	serviceNs   atomic.Int64
-	_           [64]byte
+
+	// brk is the shard's circuit breaker (resilience.go); inert when
+	// BreakerPolicy is disabled.
+	brk breaker
+	_   [64]byte
 }
 
 // load is the shard's backlog for placement decisions: requests
@@ -164,6 +200,16 @@ type EnginePool struct {
 	cache     *resultCache
 	cacheHits atomic.Int64
 	rejected  atomic.Int64
+
+	// Resilience plumbing (resilience.go). robsv is the Observer's
+	// ResilienceObserver facet, if it has one; canary is the shared
+	// probe input for breaker readmission; stop wakes sleeping retry and
+	// quarantine goroutines at Close; resWG counts those goroutines so
+	// Close can wait them out before closing the shard queues.
+	robsv  ResilienceObserver
+	canary *list.List
+	stop   chan struct{}
+	resWG  sync.WaitGroup
 
 	// mu guards closed against in-flight Submits: Submit holds the read
 	// side while it enqueues, Close takes the write side before closing
@@ -201,7 +247,33 @@ func NewPool(cfg PoolConfig) *EnginePool {
 			cfg.Engine.Observer = eo
 		}
 	}
-	p := &EnginePool{cfg: cfg}
+	if cfg.Retry.Max > 0 {
+		if cfg.Retry.BaseBackoff <= 0 {
+			cfg.Retry.BaseBackoff = 200 * time.Microsecond
+		}
+		if cfg.Retry.MaxBackoff < cfg.Retry.BaseBackoff {
+			cfg.Retry.MaxBackoff = 5 * time.Millisecond
+			if cfg.Retry.MaxBackoff < cfg.Retry.BaseBackoff {
+				cfg.Retry.MaxBackoff = cfg.Retry.BaseBackoff
+			}
+		}
+	}
+	if cfg.Breaker.Threshold > 0 {
+		if cfg.Breaker.Cooldown <= 0 {
+			cfg.Breaker.Cooldown = 5 * time.Millisecond
+		}
+		if cfg.Breaker.Probes < 1 {
+			cfg.Breaker.Probes = 2
+		}
+		if cfg.Breaker.CanaryN < 1 {
+			cfg.Breaker.CanaryN = 64
+		}
+	}
+	p := &EnginePool{cfg: cfg, stop: make(chan struct{})}
+	p.robsv, _ = cfg.Observer.(ResilienceObserver)
+	if cfg.Breaker.Threshold > 0 {
+		p.canary = newCanary(cfg.Breaker.CanaryN)
+	}
 	if cfg.CacheSize > 0 {
 		p.cache = newResultCache(cfg.CacheSize)
 	}
@@ -256,6 +328,10 @@ func (p *EnginePool) Submit(ctx context.Context, req Request) (*Future, error) {
 	}
 	s := p.pick(req)
 	f := &Future{ctx: ctx, req: req, enq: time.Now(), done: make(chan struct{})}
+	if req.Deadline > 0 {
+		f.deadline = f.enq.Add(req.Deadline)
+		f.req.deadlineAt = f.deadline
+	}
 	s.pending.Add(1)
 	select {
 	case s.queue <- f:
@@ -299,8 +375,9 @@ func (p *EnginePool) Do(ctx context.Context, req Request) (*Result, error) {
 }
 
 // pick chooses the serving shard: the size class's last engine when it
-// is idle (maximal arena reuse), otherwise the least-loaded engine
-// (maximal parallelism), updating the affinity hint to the choice.
+// is idle and admitting (maximal arena reuse), otherwise the best
+// shard by choose's class-then-load order — which routes around open
+// breakers — updating the affinity hint to the choice.
 func (p *EnginePool) pick(req Request) *shard {
 	n := 0
 	if req.List != nil {
@@ -308,16 +385,10 @@ func (p *EnginePool) pick(req Request) *shard {
 	}
 	c := sizeClass(n)
 	s := p.shards[int(p.affinity[c].Load())%len(p.shards)]
-	if s.load() == 0 {
+	if s.load() == 0 && s.brk.now() == BreakerClosed {
 		return s
 	}
-	best := s
-	bestLoad := s.load()
-	for _, t := range p.shards {
-		if l := t.load(); l < bestLoad {
-			best, bestLoad = t, l
-		}
-	}
+	best := p.choose(-1)
 	p.affinity[c].Store(int32(best.id))
 	return best
 }
@@ -353,6 +424,18 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		f.resolve(nil, err)
 		return
 	}
+	// A request whose budget ran out while queued is failed here without
+	// touching the engine, so a backlog drains at channel speed once a
+	// deadline storm passes.
+	if !f.deadline.IsZero() && start.After(f.deadline) {
+		s.deadlined.Add(1)
+		if p.robsv != nil {
+			p.robsv.DeadlineExceededObserved()
+		}
+		s.pending.Add(-1)
+		f.resolve(nil, fmt.Errorf("engine pool: engine %d: queued past deadline: %w", s.id, ErrDeadlineExceeded))
+		return
+	}
 
 	res := new(Result)
 	err := s.eng.RunInto(f.ctx, f.req, res)
@@ -361,10 +444,26 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 	s.served.Add(1)
 	if err != nil {
 		s.failures.Add(1)
+		switch {
+		case errors.Is(err, ErrDeadlineExceeded):
+			s.deadlined.Add(1)
+			if p.robsv != nil {
+				p.robsv.DeadlineExceededObserved()
+			}
+		case pram.Transient(err):
+			p.noteFault(s)
+			if p.retryable(f) && p.scheduleRetry(s, f, err) {
+				// The retry goroutine owns the future now; this shard is
+				// done with it.
+				s.pending.Add(-1)
+				return
+			}
+		}
 		s.pending.Add(-1)
 		f.resolve(nil, err)
 		return
 	}
+	p.noteOK(s)
 	if p.cache != nil && f.req.Faults == nil {
 		if key, ok := keyOf(&p.cfg.Engine, f.req); ok {
 			p.cache.put(key, cloneResult(res))
@@ -375,9 +474,16 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 }
 
 // Close drains and shuts the pool down: admission stops (further
-// Submits fail with ErrPoolClosed), already-queued requests are served
-// to completion, the dispatchers exit, and every engine is released.
-// Close is idempotent and safe to call concurrently with Submit.
+// Submits fail with ErrPoolClosed), in-flight retry and quarantine
+// goroutines are woken and waited out, already-queued requests are
+// served to completion, the dispatchers exit, and every engine is
+// released. Close is idempotent and safe to call concurrently with
+// Submit.
+//
+// The ordering is load-bearing: closed flips and stop closes under the
+// write lock (no new guarded goroutine can register after that), then
+// resWG drains BEFORE the shard queues close — a woken retry goroutine
+// may still be enqueueing, and sends on a closed channel panic.
 func (p *EnginePool) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -385,10 +491,12 @@ func (p *EnginePool) Close() error {
 		return nil
 	}
 	p.closed = true
+	close(p.stop)
+	p.mu.Unlock()
+	p.resWG.Wait()
 	for _, s := range p.shards {
 		close(s.queue)
 	}
-	p.mu.Unlock()
 	p.wg.Wait()
 	var first error
 	for _, s := range p.shards {
@@ -404,6 +512,10 @@ type EngineLoad struct {
 	// Served counts requests this engine completed (successes and
 	// failures; cancellations resolved in queue are excluded).
 	Served int64
+	// Breaker is the engine's circuit-breaker state (BreakerClosed when
+	// breakers are disabled); Trips counts its closed→open transitions.
+	Breaker BreakerState
+	Trips   int64
 	// Stats is the engine's own cumulative counters (machine rebuilds,
 	// arena hit rates, simulated time/work).
 	Stats Stats
@@ -425,6 +537,12 @@ type PoolStats struct {
 	Rejected int64
 	// Canceled counts requests whose context expired while queued.
 	Canceled int64
+	// Retries counts transient-failure re-attempts scheduled by the
+	// retry layer (a request retried twice counts twice).
+	Retries int64
+	// DeadlineExceeded counts requests failed with ErrDeadlineExceeded —
+	// while queued, mid-service, or during retry backoff.
+	DeadlineExceeded int64
 	// CacheHits counts requests answered from the result cache.
 	CacheHits int64
 	// QueueWait and Service accumulate per-request queue latency and
@@ -448,9 +566,16 @@ func (p *EnginePool) Stats() PoolStats {
 		st.Requests += served
 		st.Failures += s.failures.Load()
 		st.Canceled += s.canceled.Load()
+		st.Retries += s.retries.Load()
+		st.DeadlineExceeded += s.deadlined.Load()
 		st.QueueWait += time.Duration(s.queueWaitNs.Load())
 		st.Service += time.Duration(s.serviceNs.Load())
-		st.PerEngine[i] = EngineLoad{Served: served, Stats: s.eng.Stats()}
+		st.PerEngine[i] = EngineLoad{
+			Served:  served,
+			Breaker: s.brk.now(),
+			Trips:   s.brk.trips.Load(),
+			Stats:   s.eng.Stats(),
+		}
 	}
 	return st
 }

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"parlist/internal/chaos"
+)
+
+// runE19 measures the resilience layer: availability and tail latency
+// of an EnginePool under injected transient faults, periodic engine
+// kills, and (in the last row block) deadline pressure, swept across
+// fault rates. Each cell is one chaos soak (internal/chaos), which also
+// audits the hard invariants — exactly-once Future resolution,
+// bit-identical successes, typed failures, zero goroutine leaks — so a
+// cell that prints is a cell that passed them.
+//
+// Signals per cell:
+//
+//   - success-rate: resolved-with-result over admitted. With retries on
+//     and no deadline pressure this is the availability number; the
+//     ≥ 99.9% acceptance floor applies to the fault-rate ≤ 5% rows.
+//   - retries/req: the retry layer's work rate — rises with fault rate,
+//     and is the price of the availability column.
+//   - p50/p99: end-to-end latency (admission → resolution, backoff
+//     included). Faults fatten the tail: a retried request pays its
+//     failed first attempt plus backoff plus re-service.
+//   - trips: breaker closed→open transitions — zero until the fault
+//     rate can produce threshold consecutive faults on one engine.
+//
+// On a 1-CPU host absolute latencies are time-slicing artifacts; the
+// portable signals are the success-rate column, the retries/req slope,
+// and the p99-vs-fault-rate trend within the table.
+func runE19(cfg Config) ([]*Table, error) {
+	requests := 2000
+	if cfg.Quick {
+		requests = 400
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("E19 — availability and tail latency under injected faults, %d requests per cell, 2 engines, retry max 2, breaker threshold 3, GOMAXPROCS = %d",
+			requests, runtime.GOMAXPROCS(0)),
+		Note: "each cell is an audited chaos soak (exactly-once resolution, bit-identical successes, typed " +
+			"failures, zero leaks); on a 1-CPU host absolute latencies are time-slicing artifacts — read the " +
+			"success-rate column and the within-table p99 trend, not the wall-clock values",
+		Header: []string{"fault-rate", "deadlines", "admitted", "success-rate", "retries/req", "p50", "p99", "trips", "kills"},
+	}
+
+	type cell struct {
+		fault     float64
+		deadlines bool
+	}
+	cells := []cell{
+		{0, false}, {0.01, false}, {0.05, false}, {0.20, false},
+		{0.05, true}, // deadline pressure on top of faults
+	}
+	for _, c := range cells {
+		sc := chaos.Config{
+			Requests:     requests,
+			Seed:         cfg.Seed,
+			FaultRate:    c.fault,
+			DeadlineRate: -1,
+			KillEvery:    requests / 4,
+		}
+		if c.fault == 0 {
+			sc.FaultRate = -1
+		}
+		if c.deadlines {
+			sc.DeadlineRate = 0.10
+		}
+		rep, err := chaos.Soak(sc)
+		if err != nil {
+			return nil, fmt.Errorf("E19 fault-rate %.2f: %w", c.fault, err)
+		}
+		if !c.deadlines && c.fault <= 0.05 && rep.SuccessRate() < 0.999 {
+			return nil, fmt.Errorf("E19 fault-rate %.2f: success rate %.4f below the 99.9%% floor",
+				c.fault, rep.SuccessRate())
+		}
+		t.Add(
+			fmt.Sprintf("%.0f%%", c.fault*100),
+			map[bool]string{false: "off", true: "10%"}[c.deadlines],
+			fmt.Sprintf("%d", rep.Admitted),
+			fmt.Sprintf("%.3f%%", 100*rep.SuccessRate()),
+			fmt.Sprintf("%.3f", float64(rep.Retries)/float64(max64(rep.Admitted, 1))),
+			rep.P50.Round(10e3).String(),
+			rep.P99.Round(10e3).String(),
+			fmt.Sprintf("%d", rep.Trips),
+			fmt.Sprintf("%d", rep.Kills),
+		)
+	}
+	return []*Table{t}, nil
+}
+
+// max64 avoids a zero divisor on an empty cell.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

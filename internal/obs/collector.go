@@ -38,6 +38,11 @@ const MaxTrackedWorkers = 64
 //	parlist_queue_depth              gauge      depth of the event's shard
 //	parlist_queue_shed_total         counter    ErrQueueFull rejections
 //	parlist_cache_hits_total         counter    result-cache hits
+//	parlist_retries_total{engine}    counter    transient-failure retries
+//	parlist_deadline_exceeded_total  counter    requests past their budget
+//	parlist_breaker_state{engine}    gauge      0 closed, 1 open, 2 half-open
+//	parlist_breaker_trips_total{engine}           counter (closed → open)
+//	parlist_quarantine_ns            histogram  open → readmitted duration
 type Collector struct {
 	reg   *Registry
 	trace *Trace
@@ -61,6 +66,14 @@ type Collector struct {
 	queueDepth *Gauge
 	shed       *Counter
 	cacheHits  *Counter
+
+	// Resilience layer (engine.ResilienceObserver). Per-engine series
+	// are lazily created like the per-worker barrier counters.
+	deadlineExceeded *Counter
+	quarantineNs     *Histogram
+	engRetries       [MaxTrackedWorkers]atomic.Pointer[Counter]
+	engBreaker       [MaxTrackedWorkers]atomic.Pointer[Gauge]
+	engTrips         [MaxTrackedWorkers]atomic.Pointer[Counter]
 }
 
 // NewCollector returns a collector registering its metrics in reg.
@@ -77,6 +90,10 @@ func NewCollector(reg *Registry) *Collector {
 		queueDepth:  reg.Gauge("parlist_queue_depth", "instantaneous depth of the event's shard queue"),
 		shed:        reg.Counter("parlist_queue_shed_total", "requests shed with a full admission queue"),
 		cacheHits:   reg.Counter("parlist_cache_hits_total", "requests served from the result cache"),
+		deadlineExceeded: reg.Counter("parlist_deadline_exceeded_total",
+			"requests failed past their deadline budget (queued, mid-service, or in retry backoff)"),
+		quarantineNs: reg.Histogram("parlist_quarantine_ns",
+			"breaker open-to-readmitted duration per quarantine episode"),
 	}
 }
 
@@ -177,6 +194,53 @@ func (c *Collector) ShedObserved() { c.shed.Inc() }
 
 // CacheHitObserved implements the pool's result-cache hook.
 func (c *Collector) CacheHitObserved() { c.cacheHits.Inc() }
+
+// RetryObserved implements the pool's resilience hook: one retry was
+// scheduled after a transient failure on the given engine.
+func (c *Collector) RetryObserved(engine int) {
+	if engine < 0 || engine >= MaxTrackedWorkers {
+		return
+	}
+	ctr := c.engRetries[engine].Load()
+	if ctr == nil {
+		ctr = c.reg.Counter("parlist_retries_total",
+			"transient-failure retries scheduled, by failing engine", "engine", strconv.Itoa(engine))
+		c.engRetries[engine].Store(ctr)
+	}
+	ctr.Inc()
+}
+
+// DeadlineExceededObserved implements the pool's resilience hook: one
+// request failed past its deadline budget.
+func (c *Collector) DeadlineExceededObserved() { c.deadlineExceeded.Inc() }
+
+// BreakerStateObserved implements the pool's resilience hook: the
+// engine's breaker entered the int-coded state (0 closed, 1 open, 2
+// half-open). Closed→open transitions also bump the trips counter.
+func (c *Collector) BreakerStateObserved(engine, state int) {
+	if engine < 0 || engine >= MaxTrackedWorkers {
+		return
+	}
+	label := strconv.Itoa(engine)
+	g := c.engBreaker[engine].Load()
+	if g == nil {
+		g = c.reg.Gauge("parlist_breaker_state",
+			"circuit-breaker state per engine (0 closed, 1 open, 2 half-open)", "engine", label)
+		c.engBreaker[engine].Store(g)
+		c.engTrips[engine].Store(c.reg.Counter("parlist_breaker_trips_total",
+			"closed-to-open breaker transitions per engine", "engine", label))
+	}
+	g.Set(int64(state))
+	if state == 1 {
+		c.engTrips[engine].Load().Inc()
+	}
+}
+
+// QuarantineObserved implements the pool's resilience hook: the engine
+// was readmitted d after its breaker opened.
+func (c *Collector) QuarantineObserved(engine int, d time.Duration) {
+	c.quarantineNs.Observe(d.Nanoseconds())
+}
 
 // QueueWait returns the pool queue-wait histogram.
 func (c *Collector) QueueWait() *Histogram { return c.queueWait }

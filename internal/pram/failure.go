@@ -1,6 +1,7 @@
 package pram
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -69,6 +70,42 @@ type BarrierStall struct {
 func (e *BarrierStall) Error() string {
 	return fmt.Sprintf("pram: fused-round barrier stalled %v in round %d; workers not arrived: %v",
 		e.Waited, e.Round, e.Missing)
+}
+
+// DeadlineExceeded is the value a machine primitive panics with when
+// the deadline armed by SetDeadline has passed. The abort fires on the
+// coordinating goroutine between synchronous rounds — never inside a
+// round body — so the worker pool stays healthy: an open Batch is
+// unwound through its normal release path, the workers re-park, and
+// the machine serves the next request without a rebuild. This is the
+// mid-service half of a serving deadline (the same watchdog seam that
+// bounds barrier waits bounds whole requests); the session layer
+// translates it into engine.ErrDeadlineExceeded.
+type DeadlineExceeded struct {
+	// Round is the simulated round counter when the abort fired.
+	Round int64
+	// Over is how far past the deadline the aborting check ran — round
+	// granularity, so one round's wall time bounds the overshoot.
+	Over time.Duration
+}
+
+// Error formats the abort with its overshoot.
+func (e *DeadlineExceeded) Error() string {
+	return fmt.Sprintf("pram: deadline exceeded %v before round %d", e.Over, e.Round)
+}
+
+// Transient reports whether err (or anything it wraps) is a
+// fault-class executor failure that a retry on a healthy machine can
+// outrun: a recovered WorkerPanic or a watchdog-declared BarrierStall.
+// Both leave the failing machine degraded while saying nothing about
+// the request itself, so re-running the same request elsewhere is
+// sound (results are schedule-independent; see FaultPlan). Deadline
+// aborts and validation errors are not transient: retrying them burns
+// budget without changing the outcome.
+func Transient(err error) bool {
+	var wp *WorkerPanic
+	var bs *BarrierStall
+	return errors.As(err, &wp) || errors.As(err, &bs)
 }
 
 // WithWatchdog arms the fused-round barrier watchdog: when the

@@ -168,6 +168,13 @@ type Machine struct {
 	obsv       Observer
 	phaseStart time.Time
 
+	// deadline is the absolute abort instant armed by SetDeadline (zero
+	// = unarmed). Checked on the coordinator at every synchronous
+	// primitive and at RunTeam dispatch, never inside a round body, so
+	// an abort always finds the workers parked or barrier-parked and the
+	// machine survives without degrading.
+	deadline time.Time
+
 	// pool holds the persistent workers of the Pooled executor (nil for
 	// the other executors, after Close, and after a recovered failure
 	// degraded the machine to inline execution); fused is set while a
@@ -344,6 +351,30 @@ func (m *Machine) SetFaults(plan *FaultPlan) {
 	}
 }
 
+// SetDeadline arms (or, with the zero time, disarms) a request
+// deadline: once t has passed, the next synchronous primitive — or the
+// next RunTeam dispatch — panics with *DeadlineExceeded instead of
+// executing. The check runs only on the coordinating goroutine between
+// rounds, so granularity is one round: a round already dispatched runs
+// to completion, the worker pool stays healthy, and an open Batch
+// unwinds through its normal release path. An unarmed machine pays one
+// predictable branch per primitive, mirroring the observer hooks.
+//
+// The deadline persists across Reset; long-lived owners (the engine)
+// re-arm or disarm it per request.
+func (m *Machine) SetDeadline(t time.Time) { m.deadline = t }
+
+// abortDeadline raises the typed deadline abort. Split from the inline
+// IsZero check at every call site so the armed-but-not-expired path
+// stays cheap and the unarmed path is branch-only.
+func (m *Machine) abortDeadline() {
+	now := time.Now()
+	if !now.After(m.deadline) {
+		return
+	}
+	panic(&DeadlineExceeded{Round: m.round, Over: now.Sub(m.deadline)})
+}
+
 // Phase begins a new named accounting phase; subsequent charges
 // accumulate under it. Useful for per-step breakdowns (e.g. showing that
 // Match2's sort step dominates).
@@ -433,6 +464,9 @@ func (m *Machine) ParFor(n int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	if !m.deadline.IsZero() {
+		m.abortDeadline()
+	}
 	var t0 time.Time
 	if m.obsv != nil {
 		t0 = time.Now()
@@ -474,6 +508,9 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 	if cost < 1 {
 		panic("pram: ParForCost with cost < 1")
 	}
+	if !m.deadline.IsZero() {
+		m.abortDeadline()
+	}
 	var t0 time.Time
 	if m.obsv != nil {
 		t0 = time.Now()
@@ -505,6 +542,9 @@ func (m *Machine) ParForCost(n int, cost int64, body func(i int)) {
 // ProcFor runs one unit-cost operation on each of the p processors:
 // 1 time step, p work. body receives the processor index.
 func (m *Machine) ProcFor(body func(q int)) {
+	if !m.deadline.IsZero() {
+		m.abortDeadline()
+	}
 	var t0 time.Time
 	if m.obsv != nil {
 		t0 = time.Now()
@@ -539,6 +579,9 @@ func (m *Machine) ProcFor(body func(q int)) {
 func (m *Machine) ProcRun(steps int64, body func(q int)) {
 	if steps < 0 {
 		panic("pram: ProcRun with negative steps")
+	}
+	if !m.deadline.IsZero() {
+		m.abortDeadline()
 	}
 	var t0 time.Time
 	if m.obsv != nil {

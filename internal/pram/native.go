@@ -196,6 +196,12 @@ func (m *Machine) RunTeam(body func(*TeamCtx)) {
 	if m.fused {
 		panic("pram: RunTeam inside an open Batch")
 	}
+	// A team runs to completion once dispatched (the kernels place
+	// barriers, not the machine), so an armed deadline is checked here:
+	// team granularity, the coarsest the native fast path offers.
+	if !m.deadline.IsZero() {
+		m.abortDeadline()
+	}
 	if m.pool == nil {
 		m.inlineTeam.Workers = 1
 		body(&m.inlineTeam)

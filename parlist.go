@@ -123,8 +123,8 @@ func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
 type EnginePool = core.EnginePool
 
 // PoolConfig shapes an engine pool: engine count (default GOMAXPROCS),
-// per-engine queue depth, result-cache capacity, and the shared
-// per-engine EngineConfig.
+// per-engine queue depth, result-cache capacity, the shared per-engine
+// EngineConfig, and the resilience knobs (Retry, Breaker).
 type PoolConfig = core.PoolConfig
 
 // PoolStats is a pool-wide counter snapshot: totals, rejections,
@@ -135,6 +135,30 @@ type PoolStats = core.PoolStats
 // Future is the handle for a pending pool request: Wait for the result,
 // Done to select on completion, Metrics for per-request timings.
 type Future = core.Future
+
+// RetryPolicy (PoolConfig.Retry) bounds automatic retry of transient
+// faults — worker panics and barrier stalls — on a different engine
+// with capped jittered backoff. Deadline, overload, and validation
+// failures are never retried. Retried results are bit-identical to
+// fault-free runs.
+type RetryPolicy = core.RetryPolicy
+
+// BreakerPolicy (PoolConfig.Breaker) configures the per-engine circuit
+// breaker: Threshold consecutive transient faults quarantine the
+// engine, which is rebuilt off the hot path and readmitted only after
+// verifier-checked canary probes pass.
+type BreakerPolicy = core.BreakerPolicy
+
+// BreakerState is an engine breaker's health state (closed / open /
+// half-open), reported per engine in PoolStats.
+type BreakerState = core.BreakerState
+
+// Breaker states, reported per engine in PoolStats.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
 
 // EngineRequest is the raw typed request served by Engine.Run and
 // EnginePool.Submit/Do — the full-control entry point (op selection,
@@ -151,6 +175,10 @@ var (
 	ErrQueueFull = core.ErrQueueFull
 	// ErrPoolClosed reports a Submit or Do after Close.
 	ErrPoolClosed = core.ErrPoolClosed
+	// ErrDeadlineExceeded reports a request that blew its
+	// EngineRequest.Deadline budget — while queued or mid-service.
+	// Distinct from sheds and cancellations; never retried.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // NewEnginePool returns a pool of warm engines for concurrent serving.
