@@ -91,6 +91,13 @@ type Entry struct {
 	FaultRate         float64 `json:"fault_rate,omitempty"`
 	SuccessRate       float64 `json:"success_rate,omitempty"`
 	RetriesPerRequest float64 `json:"retries_per_request,omitempty"`
+	// Sharded rows (rank-sharded/*): the plan's boundary-exchange
+	// volume in bytes (PEM-style, per request), the reduced list's
+	// segment count it derives from, and the contract-stage imbalance
+	// (slowest shard over mean, 1.0 = balanced).
+	ExchangeBytes int64   `json:"exchange_bytes,omitempty"`
+	Segments      int     `json:"segments,omitempty"`
+	Imbalance     float64 `json:"imbalance,omitempty"`
 }
 
 // Report is the emitted document.
@@ -378,6 +385,54 @@ func run(args []string, stdout *os.File) error {
 		fmt.Fprintf(stdout, "%-40s %12.0f ns/op %8d allocs/op %12.0f req/s %10.0f p99-ns (queue p99 %0.f ns, service p99 %0.f ns)\n",
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.RequestsPerSec, e.P99Ns, e.QueueWaitP99Ns, e.ServiceP99Ns)
 		rep.Benches = append(rep.Benches, e)
+	}
+
+	// Sharded execution: one rank request fanned out across K engine
+	// shards on a warm 4-engine pool. shards=1 is the whole-request
+	// control (same pool, same list). On the 1-CPU bench host the
+	// shards never overlap in wall time, so ns/op mostly tracks the
+	// stage bookkeeping; the stable sharded metrics are allocs/op (the
+	// plan's flat budget), exchange_bytes (the data-movement cost the
+	// PEM model bounds) and imbalance. E20 sweeps the same axes.
+	{
+		spool := engine.NewPool(engine.PoolConfig{
+			Engines:    4,
+			QueueDepth: 8,
+			Engine:     engine.Config{Processors: 512},
+		})
+		sreq := engine.Request{Op: engine.OpRank, List: lp}
+		for _, ks := range []int{1, 2, 4} {
+			var last *engine.Result
+			for i := 0; i < 2; i++ { // warm the plan cache and scratch pool
+				r, err := spool.ShardedDo(ctx, sreq, ks)
+				if err != nil {
+					spool.Close()
+					return fmt.Errorf("rank-sharded warm-up: %w", err)
+				}
+				last = r
+			}
+			e := measure(stdout, fmt.Sprintf("rank-sharded/shards=%d", ks), nEng, 512, func() pram.Stats {
+				r, err := spool.ShardedDo(ctx, sreq, ks)
+				if err != nil {
+					runErr = fmt.Errorf("rank-sharded/shards=%d: %w", ks, err)
+					return pram.Stats{}
+				}
+				last = r
+				return r.Stats
+			})
+			if runErr != nil {
+				spool.Close()
+				return runErr
+			}
+			e.RequestsPerSec = 1e9 / e.NsPerOp
+			e.ExchangeBytes = last.Sharding.ExchangeBytes
+			e.Segments = last.Sharding.Segments
+			e.Imbalance = last.Sharding.Imbalance
+			fmt.Fprintf(stdout, "%-40s exchange=%d B segments=%d imbalance=%.3f\n",
+				e.Name, e.ExchangeBytes, e.Segments, e.Imbalance)
+			rep.Benches = append(rep.Benches, e)
+		}
+		spool.Close()
 	}
 
 	// Pool resilience: audited chaos soaks (internal/chaos) at fault

@@ -21,6 +21,7 @@
 //	loadgen -n 4096 -p 256 -engines 4 -conc 1,2,4,8 -requests 256
 //	loadgen -n 4096,300 -engines 2 -qps 500 -requests 1000
 //	loadgen -n 65536 -exec native -conc 1,4 -requests 256
+//	loadgen -n 65536 -engines 4 -shards 4 -conc 1,2  # sharded rank plans
 //	loadgen -listen :9090 -trace out.json
 //	loadgen -smoke                       # tiny CI smoke run
 //	loadgen -chaos                       # resilience soak: faults, kills, deadlines
@@ -112,6 +113,7 @@ func run(args []string, out *os.File) error {
 	concFlag := fs.String("conc", "1,2,4", "closed-loop concurrency sweep, comma-separated")
 	requests := fs.Int("requests", 128, "requests per sweep level (total in -qps mode)")
 	qps := fs.Float64("qps", 0, "open-loop target request rate; 0 = closed loop")
+	shardsN := fs.Int("shards", 1, "fan each request across K engine shards (closed-loop rank requests via ShardedDo); 1 = whole-request path")
 	queueDepth := fs.Int("queue", 32, "per-engine admission queue depth")
 	cache := fs.Int("cache", 0, "result-cache entries (0 = no cache)")
 	seed := fs.Int64("seed", 1, "list generator seed")
@@ -146,6 +148,12 @@ func run(args []string, out *os.File) error {
 	}
 	if *requests < 1 {
 		return usagef("-requests must be >= 1 (got %d)", *requests)
+	}
+	if *shardsN < 1 {
+		return usagef("-shards must be >= 1 (got %d)", *shardsN)
+	}
+	if *shardsN > 1 && *qps > 0 {
+		return usagef("-shards works in the closed loop only (ShardedDo blocks; drop -qps)")
 	}
 	var exec pram.Exec
 	switch *execFlag {
@@ -209,13 +217,18 @@ func run(args []string, out *os.File) error {
 		}
 	} else {
 		for _, conc := range concs {
-			if err := closedLoop(out, pool, lists, conc, *requests); err != nil {
+			if *shardsN > 1 {
+				err = closedLoopSharded(out, pool, lists, conc, *requests, *shardsN)
+			} else {
+				err = closedLoop(out, pool, lists, conc, *requests)
+			}
+			if err != nil {
 				return err
 			}
 		}
 		st := pool.Stats()
-		fmt.Fprintf(out, "pool totals: requests=%d failures=%d rejected=%d cache-hits=%d\n",
-			st.Requests, st.Failures, st.Rejected, st.CacheHits)
+		fmt.Fprintf(out, "pool totals: requests=%d steps=%d failures=%d rejected=%d cache-hits=%d\n",
+			st.Requests, st.Steps, st.Failures, st.Rejected, st.CacheHits)
 		for _, e := range st.PerEngine {
 			fmt.Fprintf(out, "  engine served=%d rebuilds=%d arena %d/%d hits\n",
 				e.Served, e.Stats.Rebuilds, e.Stats.Arena.Hits, e.Stats.Arena.Gets)
@@ -364,6 +377,71 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 		percentile(lat, 0.50), percentile(lat, 0.99),
 		percentile(wait, 0.50), percentile(wait, 0.99),
 		percentile(svc, 0.50), percentile(svc, 0.99))
+	return nil
+}
+
+// closedLoopSharded is the closed loop over ShardedDo: conc workers
+// each fan rank requests across shards engine shards back-to-back. The
+// row adds the sharded plan's data-movement accounting — per-request
+// exchange volume and the mean contract-stage imbalance — next to the
+// usual latency percentiles.
+func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests, shards int) error {
+	ctx := context.Background()
+	per := requests / conc
+	if per < 1 {
+		per = 1
+	}
+	total := per * conc
+	lat := make([][]time.Duration, conc)
+	errs := make([]error, conc)
+	var mu sync.Mutex
+	var exchange int64
+	var imbalance float64
+	var retries int
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat[w] = make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				l := lists[(w*per+i)%len(lists)]
+				t0 := time.Now()
+				res, err := pool.ShardedDo(ctx, engine.Request{Op: engine.OpRank, List: l}, shards)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(res.Ranks) != l.Len() {
+					errs[w] = fmt.Errorf("short result: %d ranks for n=%d", len(res.Ranks), l.Len())
+					return
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+				mu.Lock()
+				exchange += res.Sharding.ExchangeBytes
+				imbalance += res.Sharding.Imbalance
+				retries += res.Sharding.StepRetries
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var all []time.Duration
+	for _, ws := range lat {
+		all = append(all, ws...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Fprintf(out, "conc=%-3d requests=%-5d shards=%-2d req/s=%-9.1f p50=%-10v p99=%-10v exchange/req=%-8d B imbalance=%.3f step-retries=%d\n",
+		conc, total, shards, float64(total)/elapsed.Seconds(),
+		percentile(all, 0.50), percentile(all, 0.99),
+		exchange/int64(len(all)), imbalance/float64(len(all)), retries)
 	return nil
 }
 

@@ -405,6 +405,12 @@ const (
 	BreakerHalfOpen = engine.BreakerHalfOpen
 )
 
+// ShardStats is one sharded request's execution accounting (fan-out,
+// reduced-list segments, exchange volume, contract-stage balance),
+// attached to its Result by EnginePool.ShardedDo; see
+// engine.ShardStats.
+type ShardStats = engine.ShardStats
+
 // Re-exported pool sentinels, matchable with errors.Is.
 var (
 	// ErrQueueFull reports that Submit found the target engine's
@@ -416,6 +422,12 @@ var (
 	// Request.Deadline budget — queued or mid-service. Distinct from
 	// sheds (ErrQueueFull) and never retried.
 	ErrDeadlineExceeded = engine.ErrDeadlineExceeded
+	// ErrBadShards reports a ShardedDo fan-out below 1.
+	ErrBadShards = engine.ErrBadShards
+	// ErrShardUnsupported reports an op or scheme ShardedDo cannot
+	// decompose into shard-local segments (only rank and prefix are
+	// shardable).
+	ErrShardUnsupported = engine.ErrShardUnsupported
 )
 
 // NewEnginePool returns a pool of cfg.Engines warm engines sharing one

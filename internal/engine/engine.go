@@ -240,13 +240,23 @@ type Result struct {
 	Rounds    int
 	TableSize int
 	// Stats is the simulated PRAM accounting for this request alone.
+	// For a sharded request it aggregates the plan's steps: Time is the
+	// sum over stages of the stage's slowest step, Work the sum over
+	// all steps.
 	Stats pram.Stats
+	// Sharding carries the sharded-execution accounting (fan-out,
+	// reduced-list size, exchange volume, per-shard balance) when the
+	// result came from EnginePool.ShardedDo; nil otherwise.
+	Sharding *ShardStats
 }
 
 // Stats are an engine's cumulative counters since construction.
 type Stats struct {
 	// Requests is the number of requests served (including failures).
 	Requests int64
+	// Steps is the number of sharded plan steps served (sub-request
+	// work co-scheduled by ShardedDo; not included in Requests).
+	Steps int64
 	// Failures counts requests that returned an error (validation
 	// failures and recovered machine faults alike).
 	Failures int64
@@ -539,22 +549,8 @@ func (e *Engine) eval(v partition.Variant, n int) *partition.Evaluator {
 // left degraded by such failures; the next request rebuilds it.
 func (e *Engine) dispatch(req Request, res *Result) (err error) {
 	defer func() {
-		r := recover()
-		if r == nil {
-			return
-		}
-		switch f := r.(type) {
-		case *pram.WorkerPanic:
-			err = fmt.Errorf("engine: request failed: %w", f)
-		case *pram.BarrierStall:
-			err = fmt.Errorf("engine: request failed: %w", f)
-		case *pram.DeadlineExceeded:
-			// Unlike the two fault classes above this leaves the machine
-			// healthy: the abort fired between rounds, so no rebuild is
-			// charged to the next request.
-			err = fmt.Errorf("engine: aborted before round %d (%v over budget): %w", f.Round, f.Over, ErrDeadlineExceeded)
-		default:
-			panic(r)
+		if r := recover(); r != nil {
+			err = recoveredError(r)
 		}
 	}()
 

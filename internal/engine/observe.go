@@ -39,6 +39,26 @@ type PoolObserver interface {
 	CacheHitObserved()
 }
 
+// ShardObserver receives sharded-execution observations from an
+// EnginePool whose PoolObserver also implements it (ShardedDo's
+// exchange-volume and balance accounting). Like the others it is a
+// separate interface over basic types only, so existing observers keep
+// compiling. Methods are called from the coordinating goroutine of each
+// sharded request, concurrently across requests.
+type ShardObserver interface {
+	// ShardedRequestObserved reports one completed sharded request: its
+	// shard fan-out, the reduced inter-shard list's length, the
+	// PEM-style exchange volume in bytes, and the contract-stage
+	// imbalance (slowest shard over mean shard wall time, in permille;
+	// 1000 = perfectly balanced).
+	ShardedRequestObserved(shards, segments int, exchangeBytes, imbalancePermille int64)
+	// ShardStepObserved reports one engine-run plan step: its kind
+	// label ("step-contract", "step-solve", "step-expand"), owning
+	// shard index, wall time, and how long it then waited at the stage
+	// barrier for the stage's slowest step.
+	ShardStepObserved(kind string, shard int, wall, barrierWait time.Duration)
+}
+
 // ResilienceObserver receives resilience-layer observations from an
 // EnginePool whose PoolObserver also implements it. It is a separate
 // interface — not new methods on PoolObserver — so existing observers

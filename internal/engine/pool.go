@@ -108,6 +108,12 @@ type Future struct {
 	deadline time.Time
 	attempts int
 
+	// step marks a sharded plan-step future (shard.go): the dispatcher
+	// runs the step against the request's shared shard state instead of
+	// serving req, and resolves with a nil Result. Step futures never
+	// touch the result cache (there is no req.List to key on).
+	step *stepSpec
+
 	res *Result
 	err error
 	m   RequestMetrics
@@ -161,6 +167,7 @@ type shard struct {
 	// accepted until its result resolves.
 	pending     atomic.Int32
 	served      atomic.Int64
+	steps       atomic.Int64
 	failures    atomic.Int64
 	canceled    atomic.Int64
 	retries     atomic.Int64
@@ -210,6 +217,12 @@ type EnginePool struct {
 	canary *list.List
 	stop   chan struct{}
 	resWG  sync.WaitGroup
+
+	// Sharded-execution plumbing (shard.go). shobsv is the Observer's
+	// ShardObserver facet, if it has one; plans caches compiled plans
+	// by fan-out so repeated sharded requests reuse one immutable Plan.
+	shobsv ShardObserver
+	plans  sync.Map
 
 	// mu guards closed against in-flight Submits: Submit holds the read
 	// side while it enqueues, Close takes the write side before closing
@@ -271,6 +284,7 @@ func NewPool(cfg PoolConfig) *EnginePool {
 	}
 	p := &EnginePool{cfg: cfg, stop: make(chan struct{})}
 	p.robsv, _ = cfg.Observer.(ResilienceObserver)
+	p.shobsv, _ = cfg.Observer.(ShardObserver)
 	if cfg.Breaker.Threshold > 0 {
 		p.canary = newCanary(cfg.Breaker.CanaryN)
 	}
@@ -437,11 +451,18 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		return
 	}
 
-	res := new(Result)
-	err := s.eng.RunInto(f.ctx, f.req, res)
+	var res *Result
+	var err error
+	if f.step != nil {
+		err = s.eng.runStep(f.ctx, f.step)
+		s.steps.Add(1)
+	} else {
+		res = new(Result)
+		err = s.eng.RunInto(f.ctx, f.req, res)
+		s.served.Add(1)
+	}
 	f.m.Service = time.Since(start)
 	s.serviceNs.Add(int64(f.m.Service))
-	s.served.Add(1)
 	if err != nil {
 		s.failures.Add(1)
 		switch {
@@ -464,7 +485,7 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		return
 	}
 	p.noteOK(s)
-	if p.cache != nil && f.req.Faults == nil {
+	if f.step == nil && p.cache != nil && f.req.Faults == nil {
 		if key, ok := keyOf(&p.cfg.Engine, f.req); ok {
 			p.cache.put(key, cloneResult(res))
 		}
@@ -531,6 +552,11 @@ type PoolStats struct {
 	// Requests counts requests served by an engine, successes and
 	// failures alike (cache hits and shed requests are not included).
 	Requests int64
+	// Steps counts sharded plan steps served across all engines. A
+	// K-shard request contributes its 2K+1 engine-run steps here and
+	// nothing to Requests — Steps is sharded traffic's served-work
+	// counter.
+	Steps int64
 	// Failures counts served requests that returned an error.
 	Failures int64
 	// Rejected counts Submits shed with ErrQueueFull.
@@ -564,6 +590,7 @@ func (p *EnginePool) Stats() PoolStats {
 	for i, s := range p.shards {
 		served := s.served.Load()
 		st.Requests += served
+		st.Steps += s.steps.Load()
 		st.Failures += s.failures.Load()
 		st.Canceled += s.canceled.Load()
 		st.Retries += s.retries.Load()
@@ -695,5 +722,10 @@ func cloneResult(r *Result) *Result {
 	c.Ranks = append([]int(nil), r.Ranks...)
 	c.Stats.Phases = append([]pram.PhaseStat(nil), r.Stats.Phases...)
 	c.Stats.Notes = append([]string(nil), r.Stats.Notes...)
+	if r.Sharding != nil {
+		sh := *r.Sharding
+		sh.ContractWall = append([]time.Duration(nil), r.Sharding.ContractWall...)
+		c.Sharding = &sh
+	}
 	return &c
 }

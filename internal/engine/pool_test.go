@@ -183,9 +183,17 @@ func TestPoolQueueFullFastPath(t *testing.T) {
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
-	// Engine busy + queue full: the next Submit must be shed.
+	// Engine busy + queue full: the next Submit must be shed. The
+	// assertion is only meaningful while the slow request still occupies
+	// the engine — on a loaded host this goroutine can be descheduled
+	// past that window, which is a lost race, not a fast-path failure.
 	if _, err := pool.Submit(bg, Request{List: list.RandomList(128, 3)}); !errors.Is(err, ErrQueueFull) {
-		t.Fatalf("overload Submit: err = %v, want ErrQueueFull", err)
+		select {
+		case <-slow.Done():
+			t.Skipf("slow request finished before overload could be observed (err = %v)", err)
+		default:
+			t.Fatalf("overload Submit: err = %v, want ErrQueueFull", err)
+		}
 	}
 	if st := pool.Stats(); st.Rejected < 1 {
 		t.Errorf("Rejected = %d, want ≥ 1", st.Rejected)

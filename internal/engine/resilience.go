@@ -278,6 +278,9 @@ func (p *EnginePool) backoff(f *Future) time.Duration {
 func (p *EnginePool) scheduleRetry(from *shard, f *Future, cause error) bool {
 	f.attempts++
 	f.req.Faults = nil // injected faults model the environment, not the request
+	if f.step != nil {
+		f.step.faults = nil // same rule for sharded plan steps
+	}
 	from.retries.Add(1)
 	if p.robsv != nil {
 		p.robsv.RetryObserved(from.id)

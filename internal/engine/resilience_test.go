@@ -484,6 +484,26 @@ func TestPoolErrorTaxonomy(t *testing.T) {
 			cause := fmt.Errorf("engine: request failed: %w", ErrDeadlineExceeded)
 			return fmt.Errorf("engine pool: retry abandoned at shutdown: %w", cause)
 		}, ErrDeadlineExceeded},
+		// Sharded requests fold into the same taxonomy: validation
+		// failures keep their sentinels, per-step deadline aborts
+		// surface as the usual ErrDeadlineExceeded.
+		{"sharded zero shards", func() error {
+			_, err := pool.ShardedDo(bg, Request{Op: OpRank, List: l}, 0)
+			return err
+		}, ErrBadShards},
+		{"sharded nil list", func() error {
+			_, err := pool.ShardedDo(bg, Request{Op: OpRank}, 2)
+			return err
+		}, ErrNilList},
+		{"sharded unsupported op", func() error {
+			_, err := pool.ShardedDo(bg, Request{Op: OpMatching, List: l}, 2)
+			return err
+		}, ErrShardUnsupported},
+		{"sharded past deadline", func() error {
+			big := list.RandomList(1<<15, 2)
+			_, err := pool.ShardedDo(bg, Request{Op: OpRank, List: big, Deadline: time.Nanosecond}, 2)
+			return err
+		}, ErrDeadlineExceeded},
 	}
 	for _, tc := range cases {
 		err := tc.err()

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E1–E19 (see
+// Package harness runs the reproduction experiments E1–E20 (see
 // DESIGN.md): each of the paper's lemmas and theorems is exercised over
 // parameter sweeps and rendered as a text table comparing measured PRAM
 // step counts against the paper's bounds.
@@ -162,6 +162,7 @@ func All() []Experiment {
 		{ID: "E17", Title: "Observability: queue-wait and barrier-wait imbalance across pool sizes", Run: runE17},
 		{ID: "E18", Title: "Native fast-path executor vs pooled on the warm-engine path", Run: runE18},
 		{ID: "E19", Title: "Resilience: availability and tail latency under injected faults", Run: runE19},
+		{ID: "E20", Title: "Sharded execution: exchange volume and balance across fan-outs", Run: runE20},
 	}
 }
 

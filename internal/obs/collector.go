@@ -43,6 +43,13 @@ const MaxTrackedWorkers = 64
 //	parlist_breaker_state{engine}    gauge      0 closed, 1 open, 2 half-open
 //	parlist_breaker_trips_total{engine}           counter (closed → open)
 //	parlist_quarantine_ns            histogram  open → readmitted duration
+//	parlist_sharded_requests_total   counter    plans served by ShardedDo
+//	parlist_shard_segments_total     counter    reduced-list segments exchanged
+//	parlist_exchange_bytes_total     counter    PEM-style boundary-exchange volume
+//	parlist_shard_imbalance_permille histogram  contract-stage max/mean × 1000
+//	parlist_shard_step_wall_ns{kind} histogram  engine service time per plan step
+//	parlist_shard_steps_total        counter    plan steps observed
+//	parlist_shard_barrier_wait_ns    histogram  per-step wait for its stage barrier
 type Collector struct {
 	reg   *Registry
 	trace *Trace
@@ -74,6 +81,16 @@ type Collector struct {
 	engRetries       [MaxTrackedWorkers]atomic.Pointer[Counter]
 	engBreaker       [MaxTrackedWorkers]atomic.Pointer[Gauge]
 	engTrips         [MaxTrackedWorkers]atomic.Pointer[Counter]
+
+	// Sharded-execution layer (engine.ShardObserver). Step-wall series
+	// are labelled by plan-step kind, lazily like phaseNs.
+	shardedReqs     *Counter
+	shardSegments   *Counter
+	exchangeBytes   *Counter
+	shardImbalance  *Histogram
+	shardStepWall   sync.Map // step kind → *Histogram
+	shardStepsTotal *Counter
+	shardBarrier    *Histogram
 }
 
 // NewCollector returns a collector registering its metrics in reg.
@@ -94,6 +111,15 @@ func NewCollector(reg *Registry) *Collector {
 			"requests failed past their deadline budget (queued, mid-service, or in retry backoff)"),
 		quarantineNs: reg.Histogram("parlist_quarantine_ns",
 			"breaker open-to-readmitted duration per quarantine episode"),
+		shardedReqs:   reg.Counter("parlist_sharded_requests_total", "requests served through a sharded plan"),
+		shardSegments: reg.Counter("parlist_shard_segments_total", "reduced-list segments exchanged across shard boundaries"),
+		exchangeBytes: reg.Counter("parlist_exchange_bytes_total",
+			"PEM-style boundary-exchange volume: gathered segment records plus scattered offsets"),
+		shardImbalance: reg.Histogram("parlist_shard_imbalance_permille",
+			"contract-stage load imbalance per sharded request (slowest shard over mean, ×1000)"),
+		shardStepsTotal: reg.Counter("parlist_shard_steps_total", "sharded plan steps executed on pool engines"),
+		shardBarrier: reg.Histogram("parlist_shard_barrier_wait_ns",
+			"per-step wait for its stage barrier (slowest stage sibling minus own service)"),
 	}
 }
 
@@ -250,6 +276,35 @@ func (c *Collector) BarrierWait() *Histogram { return c.barrierWait }
 
 // RoundWall returns the per-round wall-time histogram.
 func (c *Collector) RoundWall() *Histogram { return c.roundWall }
+
+// ShardedRequestObserved implements the pool's sharded-plan hook: one
+// ShardedDo request completed with the given fan-out, reduced-list
+// segment count, boundary-exchange volume and contract-stage imbalance
+// (slowest shard over mean shard wall, ×1000).
+func (c *Collector) ShardedRequestObserved(shards, segments int, exchangeBytes, imbalancePermille int64) {
+	c.shardedReqs.Inc()
+	c.shardSegments.Add(int64(segments))
+	c.exchangeBytes.Add(exchangeBytes)
+	c.shardImbalance.Observe(imbalancePermille)
+}
+
+// ShardStepObserved implements the pool's per-step hook: one plan step
+// of the given kind ran on an engine for wall of service time, then
+// waited barrierWait for the slowest step of its stage.
+func (c *Collector) ShardStepObserved(kind string, shard int, wall, barrierWait time.Duration) {
+	v, ok := c.shardStepWall.Load(kind)
+	if !ok {
+		v, _ = c.shardStepWall.LoadOrStore(kind,
+			c.reg.Histogram("parlist_shard_step_wall_ns", "engine service time per sharded plan step", "kind", kind))
+	}
+	v.(*Histogram).Observe(wall.Nanoseconds())
+	c.shardStepsTotal.Inc()
+	c.shardBarrier.Observe(barrierWait.Nanoseconds())
+}
+
+// ExchangeBytesTotal reports the cumulative boundary-exchange volume —
+// the raw material of E20's volume-versus-bound measurements.
+func (c *Collector) ExchangeBytesTotal() int64 { return c.exchangeBytes.Value() }
 
 // WorkerWaitNs reports the cumulative barrier-wait nanoseconds per
 // tracked participant, trimmed to the highest participant seen —

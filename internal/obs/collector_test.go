@@ -58,6 +58,39 @@ func TestCollectorFeedsRegistry(t *testing.T) {
 	}
 }
 
+func TestCollectorShardedMetrics(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+
+	c.ShardStepObserved("step-contract", 0, 4*time.Microsecond, time.Microsecond)
+	c.ShardStepObserved("step-contract", 1, 5*time.Microsecond, 0)
+	c.ShardStepObserved("step-solve", 0, 2*time.Microsecond, 0)
+	c.ShardedRequestObserved(2, 3, 96, 1250)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"parlist_sharded_requests_total 1",
+		"parlist_shard_segments_total 3",
+		"parlist_exchange_bytes_total 96",
+		"parlist_shard_imbalance_permille_count 1",
+		`parlist_shard_step_wall_ns_count{kind="step-contract"} 2`,
+		`parlist_shard_step_wall_ns_count{kind="step-solve"} 1`,
+		"parlist_shard_steps_total 3",
+		"parlist_shard_barrier_wait_ns_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	if got := c.ExchangeBytesTotal(); got != 96 {
+		t.Errorf("ExchangeBytesTotal = %d, want 96", got)
+	}
+}
+
 // TestCollectorConcurrent exercises every hook from many goroutines so
 // the -race CI job proves the collector is data-race free.
 func TestCollectorConcurrent(t *testing.T) {
@@ -72,6 +105,8 @@ func TestCollectorConcurrent(t *testing.T) {
 				c.BarrierWaitObserved(w, time.Duration(i))
 				c.RequestObserved("matching", time.Duration(i), i%7 == 0, uint64(i))
 				c.DequeueObserved(time.Duration(i), i%4)
+				c.ShardStepObserved("step-contract", w, time.Duration(i), time.Duration(i))
+				c.ShardedRequestObserved(4, i, int64(32*i), 1000)
 			}
 		}(w)
 	}

@@ -121,3 +121,21 @@ func Ranks(l *list.List, rank []int) error {
 	}
 	return nil
 }
+
+// Stitched checks that a sharded (stitched) output is bit-identical to
+// its single-machine reference: same length, same value at every node.
+// Bit-identity — not mere validity — is the sharded path's contract
+// (DESIGN.md "Sharded execution"): ranks because positions are unique,
+// prefix sums because both paths add the same integers in the same
+// within-segment order.
+func Stitched(got, want []int) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: stitched length %d, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		if g != want[i] {
+			return fmt.Errorf("verify: stitched[%d] = %d, want %d (first divergence)", i, g, want[i])
+		}
+	}
+	return nil
+}

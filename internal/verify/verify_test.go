@@ -151,3 +151,18 @@ func FuzzMatchingCheckersAgree(f *testing.F) {
 		}
 	})
 }
+
+func TestStitchedAcceptsAndRejects(t *testing.T) {
+	if err := verify.Stitched([]int{0, 1, 2}, []int{0, 1, 2}); err != nil {
+		t.Fatalf("identical arrays rejected: %v", err)
+	}
+	if err := verify.Stitched(nil, nil); err != nil {
+		t.Fatalf("empty arrays rejected: %v", err)
+	}
+	if err := verify.Stitched([]int{0, 1}, []int{0, 1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := verify.Stitched([]int{0, 9, 2}, []int{0, 1, 2}); err == nil {
+		t.Fatal("divergent value accepted")
+	}
+}

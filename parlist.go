@@ -168,6 +168,29 @@ type EngineRequest = engine.Request
 // EngineResult is the raw typed result for an EngineRequest.
 type EngineResult = engine.Result
 
+// Op selects what an EngineRequest computes.
+type Op = engine.Op
+
+// The raw request operations (EngineRequest.Op).
+const (
+	OpMatching   = engine.OpMatching
+	OpPartition  = engine.OpPartition
+	OpThreeColor = engine.OpThreeColor
+	OpMIS        = engine.OpMIS
+	OpRank       = engine.OpRank
+	OpPrefix     = engine.OpPrefix
+	OpSchedule   = engine.OpSchedule
+)
+
+// ShardStats is one sharded request's execution accounting — fan-out,
+// reduced-list segments, PEM-style exchange volume, per-shard contract
+// wall times and their imbalance, step retries — attached to
+// EngineResult.Sharding by EnginePool.ShardedDo:
+//
+//	res, err := p.ShardedDo(ctx, parlist.EngineRequest{Op: parlist.OpRank, List: l}, 4)
+//	fmt.Println(res.Sharding.ExchangeBytes)
+type ShardStats = core.ShardStats
+
 // Pool overload sentinels (test with errors.Is).
 var (
 	// ErrQueueFull reports that Submit found the admission queue at
@@ -179,6 +202,11 @@ var (
 	// EngineRequest.Deadline budget — while queued or mid-service.
 	// Distinct from sheds and cancellations; never retried.
 	ErrDeadlineExceeded = core.ErrDeadlineExceeded
+	// ErrBadShards reports a ShardedDo fan-out below 1.
+	ErrBadShards = core.ErrBadShards
+	// ErrShardUnsupported reports an op ShardedDo cannot decompose
+	// into shard-local segments (only rank and prefix are shardable).
+	ErrShardUnsupported = core.ErrShardUnsupported
 )
 
 // NewEnginePool returns a pool of warm engines for concurrent serving.

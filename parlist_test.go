@@ -1,6 +1,9 @@
 package parlist_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
 
 	"parlist"
@@ -210,5 +213,32 @@ func TestPublicScheduleMatching(t *testing.T) {
 	}
 	if res.Size == 0 {
 		t.Error("empty matching")
+	}
+}
+
+func TestPublicShardedDo(t *testing.T) {
+	l := parlist.RandomList(5000, 9)
+	pool := parlist.NewEnginePool(parlist.PoolConfig{Engines: 2})
+	defer pool.Close()
+	want, err := pool.Do(context.Background(), parlist.EngineRequest{Op: parlist.OpRank, List: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.ShardedDo(context.Background(), parlist.EngineRequest{Op: parlist.OpRank, List: l}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Ranks, want.Ranks) {
+		t.Fatal("sharded ranks differ from the whole-request path")
+	}
+	var sh *parlist.ShardStats = res.Sharding
+	if sh.Shards != 4 || sh.ExchangeBytes != 32*int64(sh.Segments) {
+		t.Fatalf("ShardStats = %+v", sh)
+	}
+	if _, err := pool.ShardedDo(context.Background(), parlist.EngineRequest{Op: parlist.OpRank, List: l}, 0); !errors.Is(err, parlist.ErrBadShards) {
+		t.Fatalf("zero shards: %v, want ErrBadShards", err)
+	}
+	if _, err := pool.ShardedDo(context.Background(), parlist.EngineRequest{Op: parlist.OpMatching, List: l}, 2); !errors.Is(err, parlist.ErrShardUnsupported) {
+		t.Fatalf("matching op: %v, want ErrShardUnsupported", err)
 	}
 }
