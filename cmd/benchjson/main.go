@@ -47,6 +47,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -61,6 +62,7 @@ import (
 	"parlist/internal/obs"
 	"parlist/internal/pram"
 	"parlist/internal/rank"
+	"parlist/internal/server"
 )
 
 // Entry is one benchmark result.
@@ -98,6 +100,9 @@ type Entry struct {
 	ExchangeBytes int64   `json:"exchange_bytes,omitempty"`
 	Segments      int     `json:"segments,omitempty"`
 	Imbalance     float64 `json:"imbalance,omitempty"`
+	// Wire rows (wire-path/*): the achieved coalescing factor — served
+	// requests per fused machine run (1.0 on the per-request control).
+	MeanBatch float64 `json:"mean_batch,omitempty"`
 }
 
 // Report is the emitted document.
@@ -435,6 +440,31 @@ func run(args []string, stdout *os.File) error {
 		spool.Close()
 	}
 
+	// Wire path: the serving daemon's binary framing over loopback, the
+	// coalescing batcher on (batch=8) vs per-request dispatch (batch=1).
+	// One pipelined client submits rank requests flat-out — equal offered
+	// load for both rows — so requests_per_sec is served capacity and
+	// mean_batch the achieved coalescing factor. The batch=8 row must
+	// beat batch=1 on requests_per_sec: fused batches pay the queue trip,
+	// dispatcher wakeup and engine-semaphore handshake once per batch.
+	// Results are bit-identical either way (pinned in internal/server).
+	{
+		nWire, reqWire := 4096, 2000
+		if *quick {
+			nWire, reqWire = 512, 300
+		}
+		lwire := list.RandomList(nWire, seed)
+		for _, bsz := range []int{1, 8} {
+			e, err := wirePath(lwire, bsz, reqWire)
+			if err != nil {
+				return fmt.Errorf("wire-path/batch=%d: %w", bsz, err)
+			}
+			fmt.Fprintf(stdout, "%-40s %12.0f ns/op %21.0f req/s %10.0f p99-ns mean-batch=%.2f\n",
+				e.Name, e.NsPerOp, e.RequestsPerSec, e.P99Ns, e.MeanBatch)
+			rep.Benches = append(rep.Benches, e)
+		}
+	}
+
 	// Pool resilience: audited chaos soaks (internal/chaos) at fault
 	// rate 0 vs 5%, retries on, kills and deadline pressure off so the
 	// fault-rate axis is the only variable. success_rate is the
@@ -521,6 +551,99 @@ func run(args []string, stdout *os.File) error {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", rep.Date)
 	}
+	return writeReport(stdout, path, &rep)
+}
+
+// wirePath drives one batch-size configuration of the serving core end
+// to end: fresh 2-engine pool with the native executor, binary-framing
+// listener on loopback, one pipelined client submitting rank requests
+// flat-out, graceful drain.
+func wirePath(l *list.List, batch, requests int) (Entry, error) {
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines:    2,
+		QueueDepth: 256,
+		Engine:     engine.Config{Processors: 256, Exec: pram.Native},
+	})
+	srv, err := server.New(server.Config{Pool: pool, BatchSize: batch, MaxWait: 500 * time.Microsecond})
+	if err != nil {
+		return Entry{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return Entry{}, err
+	}
+	go srv.ServeBinary(ln)
+	drain := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+	c, err := server.Dial(ln.Addr().String(), "benchjson")
+	if err != nil {
+		drain()
+		return Entry{}, err
+	}
+	defer c.Close()
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var served, batchedSum int
+	var firstErr error
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		ch, err := c.Submit(engine.Request{Op: engine.OpRank, List: l})
+		if err != nil {
+			drain()
+			return Entry{}, fmt.Errorf("submit %d: %w", i, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, ok := <-ch
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case !ok:
+				firstErr = errors.New("connection failed")
+			case r.Status != server.StatusOK:
+				firstErr = &server.StatusError{Code: r.Status, Message: r.Message}
+			default:
+				served++
+				batchedSum += r.Batched
+				lats = append(lats, time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := drain(); err != nil {
+		return Entry{}, err
+	}
+	if firstErr != nil {
+		return Entry{}, firstErr
+	}
+	if served == 0 {
+		return Entry{}, errors.New("no requests served")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	e := Entry{
+		Name:           fmt.Sprintf("wire-path/batch=%d", batch),
+		N:              l.Len(),
+		P:              256,
+		Iters:          served,
+		NsPerOp:        float64(elapsed.Nanoseconds()) / float64(served),
+		RequestsPerSec: float64(served) / elapsed.Seconds(),
+		P99Ns:          float64(lats[int(0.99*float64(len(lats)-1))].Nanoseconds()),
+		MeanBatch:      float64(batchedSum) / float64(served),
+	}
+	return e, nil
+}
+
+// writeReport marshals and writes the report.
+func writeReport(stdout *os.File, path string, rep *Report) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

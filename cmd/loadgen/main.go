@@ -26,6 +26,15 @@
 //	loadgen -smoke                       # tiny CI smoke run
 //	loadgen -chaos                       # resilience soak: faults, kills, deadlines
 //	loadgen -chaos -smoke                # scaled-down soak for CI (run under -race)
+//	loadgen -connect :7070 -qps 2000     # drive a parlistd over the wire
+//	loadgen -connect :7070 -smoke        # tiny wire-mode smoke run
+//
+// In -connect mode loadgen is a network client: requests travel to a
+// running parlistd daemon over the binary framing (pipelined on one
+// connection) instead of calling the pool in-process. -qps paces an
+// open loop against the socket; otherwise the -conc sweep runs closed
+// loops of concurrent callers. Rows add the daemon-reported mean fused
+// batch size next to the usual latency percentiles.
 //
 // In -chaos mode loadgen hands the run to internal/chaos: thousands of
 // requests with injected fault plans, random engine kills and deadline
@@ -58,6 +67,7 @@ import (
 	"parlist/internal/list"
 	"parlist/internal/obs"
 	"parlist/internal/pram"
+	"parlist/internal/server"
 )
 
 // usageError marks failures caused by bad invocation rather than by the
@@ -117,6 +127,7 @@ func run(args []string, out *os.File) error {
 	queueDepth := fs.Int("queue", 32, "per-engine admission queue depth")
 	cache := fs.Int("cache", 0, "result-cache entries (0 = no cache)")
 	seed := fs.Int64("seed", 1, "list generator seed")
+	connect := fs.String("connect", "", "drive a running parlistd at this address over the binary framing instead of an in-process pool")
 	listen := fs.String("listen", "", "serve /metrics and /debug/pprof on this address; keeps serving after the run until SIGINT")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON of algorithm phases to this file")
 	smoke := fs.Bool("smoke", false, "tiny fixed run for CI smoke tests")
@@ -176,6 +187,13 @@ func run(args []string, out *os.File) error {
 	lists := make([]*list.List, len(sizes))
 	for i, n := range sizes {
 		lists[i] = list.RandomList(n, *seed)
+	}
+
+	if *connect != "" {
+		if *shardsN > 1 {
+			return usagef("-shards is an in-process mode (drop -connect)")
+		}
+		return wireMode(out, *connect, lists, *requests, *qps, concs, *smoke)
 	}
 
 	// The collector is always wired: its hooks are cheap relative to
@@ -262,6 +280,153 @@ func run(args []string, out *os.File) error {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 	}
+	return nil
+}
+
+// wireMode drives a running parlistd over the binary framing: an open
+// loop when qps > 0, otherwise the closed-loop -conc sweep. -smoke
+// shrinks it to CI size. All requests are rank requests (results are
+// length-checked), pipelined on one connection.
+func wireMode(out *os.File, addr string, lists []*list.List, requests int, qps float64, concs []int, smoke bool) error {
+	if smoke {
+		requests = 40
+		if qps == 0 {
+			qps = 400
+		}
+	}
+	c, err := server.Dial(addr, "loadgen")
+	if err != nil {
+		return fmt.Errorf("connect %s: %w", addr, err)
+	}
+	defer c.Close()
+	if qps > 0 {
+		return wireOpenLoop(out, c, lists, requests, qps)
+	}
+	for _, conc := range concs {
+		if err := wireClosedLoop(out, c, lists, conc, requests); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wireOpenLoop paces Submit frames at the target rate and collects
+// responses as they arrive; daemon sheds (queue-full, over-limit) are
+// drops, anything else non-OK fails the run.
+func wireOpenLoop(out *os.File, c *server.Client, lists []*list.List, requests int, qps float64) error {
+	interval := time.Duration(float64(time.Second) / qps)
+	var mu sync.Mutex
+	var lat []time.Duration
+	var batchedSum, served, drops, failed int
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < requests; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		l := lists[i%len(lists)]
+		t0 := time.Now()
+		ch, err := c.Submit(engine.Request{Op: engine.OpRank, List: l})
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, ok := <-ch
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case !ok:
+				failed++
+			case r.Status == server.StatusOK:
+				if len(r.Result.Ranks) != l.Len() {
+					failed++
+					return
+				}
+				served++
+				batchedSum += r.Batched
+				lat = append(lat, time.Since(t0))
+			case r.Status == server.StatusShed || r.Status == server.StatusOverLimit:
+				drops++
+			default:
+				failed++
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if failed > 0 {
+		return fmt.Errorf("wire: %d of %d requests failed", failed, requests)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	meanBatch := 0.0
+	if served > 0 {
+		meanBatch = float64(batchedSum) / float64(served)
+	}
+	fmt.Fprintf(out, "wire qps-target=%.0f offered=%d served=%d shed=%d achieved=%.1f/s mean-batch=%.2f p50=%v p99=%v\n",
+		qps, requests, served, drops,
+		float64(served)/elapsed.Seconds(), meanBatch,
+		percentile(lat, 0.50), percentile(lat, 0.99))
+	return nil
+}
+
+// wireClosedLoop runs conc workers issuing Do back-to-back over the
+// shared pipelined connection and prints one sweep row.
+func wireClosedLoop(out *os.File, c *server.Client, lists []*list.List, conc, requests int) error {
+	ctx := context.Background()
+	per := requests / conc
+	if per < 1 {
+		per = 1
+	}
+	total := per * conc
+	lat := make([][]time.Duration, conc)
+	batched := make([]int, conc)
+	errs := make([]error, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat[w] = make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				l := lists[(w*per+i)%len(lists)]
+				t0 := time.Now()
+				r, err := c.Do(ctx, engine.Request{Op: engine.OpRank, List: l})
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if len(r.Result.Ranks) != l.Len() {
+					errs[w] = fmt.Errorf("short result: %d ranks for n=%d", len(r.Result.Ranks), l.Len())
+					return
+				}
+				lat[w] = append(lat[w], time.Since(t0))
+				batched[w] += r.Batched
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	var all []time.Duration
+	batchedSum := 0
+	for w := range lat {
+		all = append(all, lat[w]...)
+		batchedSum += batched[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Fprintf(out, "wire conc=%-3d requests=%-5d req/s=%-9.1f mean-batch=%-6.2f p50=%-10v p99=%v\n",
+		conc, total, float64(total)/elapsed.Seconds(),
+		float64(batchedSum)/float64(len(all)),
+		percentile(all, 0.50), percentile(all, 0.99))
 	return nil
 }
 

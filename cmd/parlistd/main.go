@@ -1,0 +1,181 @@
+// Command parlistd serves all seven list operations over the network,
+// backed by a warm EnginePool and internal/server's coalescing
+// batcher: concurrent same-op, same-size-class requests fuse into one
+// machine run and fan back out per caller.
+//
+// Two listeners: -http serves the JSON framing (POST /v1/{matching,
+// partition,threecolor,mis,rank,prefix,schedule}) plus /metrics,
+// /healthz and /debug/pprof; -binary serves the length-prefixed binary
+// framing that loadgen -connect and internal/server.Client speak.
+//
+// Usage:
+//
+//	parlistd                              # defaults: :8080 HTTP, :7070 binary
+//	parlistd -engines 4 -p 256 -exec native -batch 32 -maxwait 1ms
+//	parlistd -rate 100 -burst 200         # per-tenant token buckets
+//	curl -s localhost:8080/v1/rank -d '{"next": [1, 2, -1]}'
+//
+// SIGTERM or SIGINT starts a graceful drain: listeners close, pending
+// coalescing groups flush, in-flight batches run to completion and
+// their responses are written, then the pool shuts down. -drain bounds
+// the wait.
+//
+// See OPERATIONS.md for the full runbook: every flag, every exported
+// metric family, tuning guidance and a troubleshooting table.
+//
+// Exit status: 0 on clean shutdown, 1 on a runtime failure, 2 on a
+// usage error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parlist/internal/engine"
+	"parlist/internal/obs"
+	"parlist/internal/pram"
+	"parlist/internal/server"
+)
+
+// usageError marks failures caused by bad invocation; they exit 2.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "parlistd: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("parlistd", flag.ContinueOnError)
+	httpAddr := fs.String("http", ":8080", "HTTP/JSON listener address (also /metrics, /healthz, /debug/pprof)")
+	binAddr := fs.String("binary", ":7070", "binary-framing listener address; empty disables it")
+	enginesN := fs.Int("engines", 2, "engines in the pool")
+	queueDepth := fs.Int("queue", 64, "per-engine admission queue depth")
+	p := fs.Int("p", 256, "simulated PRAM processors per engine")
+	execFlag := fs.String("exec", "sequential", "per-engine executor: sequential|goroutines|pooled|native")
+	workers := fs.Int("workers", 0, "real worker cap for the parallel executors (0 = GOMAXPROCS)")
+	cache := fs.Int("cache", 0, "result-cache entries (0 = no cache)")
+	batch := fs.Int("batch", 16, "coalescing batch size (1 = per-request dispatch)")
+	maxWait := fs.Duration("maxwait", 500*time.Microsecond, "longest a pending coalescing group waits before flushing")
+	rate := fs.Float64("rate", 0, "per-tenant admitted requests/second (0 = unlimited)")
+	burst := fs.Float64("burst", 0, "per-tenant token-bucket burst (defaults to rate)")
+	maxNodes := fs.Int("max-nodes", 1<<24, "largest accepted input list")
+	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	if *enginesN < 1 || *queueDepth < 1 || *p < 1 || *batch < 1 {
+		return usagef("-engines, -queue, -p and -batch must be >= 1")
+	}
+	var exec pram.Exec
+	switch *execFlag {
+	case "sequential":
+		exec = pram.Sequential
+	case "goroutines":
+		exec = pram.Goroutines
+	case "pooled":
+		exec = pram.Pooled
+	case "native":
+		exec = pram.Native
+	default:
+		return usagef("unknown executor %q", *execFlag)
+	}
+	if *burst == 0 {
+		*burst = *rate
+	}
+
+	// One registry carries both layers: the pool collector's engine/
+	// queue families and the server's parlistd_* families share the
+	// /metrics endpoint.
+	reg := obs.NewRegistry()
+	collector := obs.NewCollector(reg)
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines:    *enginesN,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cache,
+		Observer:   collector,
+		Engine:     engine.Config{Processors: *p, Exec: exec, Workers: *workers},
+	})
+	srv, err := server.New(server.Config{
+		Pool:       pool,
+		BatchSize:  *batch,
+		MaxWait:    *maxWait,
+		MaxNodes:   *maxNodes,
+		RatePerSec: *rate,
+		Burst:      *burst,
+		Registry:   reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *httpAddr, err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.Serve(httpLn) }()
+	fmt.Fprintf(out, "parlistd: HTTP/JSON on http://%s\n", httpLn.Addr())
+
+	binErr := make(chan error, 1)
+	if *binAddr != "" {
+		binLn, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			return fmt.Errorf("listen %s: %w", *binAddr, err)
+		}
+		go func() { binErr <- srv.ServeBinary(binLn) }()
+		fmt.Fprintf(out, "parlistd: binary framing on %s\n", binLn.Addr())
+	}
+	fmt.Fprintf(out, "parlistd: engines=%d queue=%d p=%d exec=%s batch=%d maxwait=%v rate=%.0f/s\n",
+		*enginesN, *queueDepth, *p, exec, *batch, *maxWait, *rate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(out, "parlistd: %v — draining (budget %v)\n", s, *drain)
+	case err := <-httpErr:
+		srv.Shutdown(context.Background())
+		return fmt.Errorf("http server: %w", err)
+	case err := <-binErr:
+		if err != nil {
+			srv.Shutdown(context.Background())
+			return fmt.Errorf("binary server: %w", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// HTTP first (stops new JSON requests and waits for handlers),
+	// then the server core (flushes pending groups, serves in-flight
+	// batches, closes the pool).
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "parlistd: http drain: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintf(out, "parlistd: drained\n")
+	return nil
+}

@@ -382,12 +382,23 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	// The effective absolute deadline: the earliest of the context
-	// deadline, the pool-derived admission deadline, and the
-	// request-relative budget measured from here — computed before the
-	// semaphore wait so time spent queued behind the machine spends the
-	// same budget as service. Requests without any deadline skip the
-	// clock reads entirely.
+	at := effectiveDeadline(ctx, &req)
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	return e.serveOne(req, res, at)
+}
+
+// effectiveDeadline derives the request's absolute deadline: the
+// earliest of the context deadline, the pool-derived admission deadline,
+// and the request-relative budget measured from now — computed before
+// the semaphore wait so time spent queued behind the machine spends the
+// same budget as service. Requests without any deadline skip the clock
+// reads entirely.
+func effectiveDeadline(ctx context.Context, req *Request) time.Time {
 	var at time.Time
 	if d, ok := ctx.Deadline(); ok {
 		at = d
@@ -400,13 +411,15 @@ func (e *Engine) RunInto(ctx context.Context, req Request, res *Result) error {
 			at = t
 		}
 	}
-	select {
-	case e.sem <- struct{}{}:
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	defer func() { <-e.sem }()
+	return at
+}
 
+// serveOne serves one request under an already-held semaphore, wrapping
+// serve with the observer hook and the cumulative-stats update. Both
+// RunInto and RunBatch funnel through here, so a batched item takes
+// exactly the code path a solo request takes — the foundation of the
+// batch bit-identity contract.
+func (e *Engine) serveOne(req Request, res *Result, at time.Time) error {
 	var t0 time.Time
 	var arena0 uint64
 	if e.cfg.Observer != nil {

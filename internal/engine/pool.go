@@ -114,6 +114,12 @@ type Future struct {
 	// touch the result cache (there is no req.List to key on).
 	step *stepSpec
 
+	// batch marks a fused-batch future (batch.go): the dispatcher runs
+	// RunBatch over the items — one machine acquisition for all of them
+	// — and resolves with a nil Result once every item's Err/Res is
+	// populated. Batch futures never touch the result cache.
+	batch *batchSpec
+
 	res *Result
 	err error
 	m   RequestMetrics
@@ -168,6 +174,7 @@ type shard struct {
 	pending     atomic.Int32
 	served      atomic.Int64
 	steps       atomic.Int64
+	batches     atomic.Int64
 	failures    atomic.Int64
 	canceled    atomic.Int64
 	retries     atomic.Int64
@@ -450,6 +457,10 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		f.resolve(nil, fmt.Errorf("engine pool: engine %d: queued past deadline: %w", s.id, ErrDeadlineExceeded))
 		return
 	}
+	if f.batch != nil {
+		p.serveBatch(s, f, start)
+		return
+	}
 
 	var res *Result
 	var err error
@@ -557,6 +568,11 @@ type PoolStats struct {
 	// nothing to Requests — Steps is sharded traffic's served-work
 	// counter.
 	Steps int64
+	// Batches counts fused batches served through SubmitBatch. Each
+	// batch's items are counted individually in Requests; Batches is the
+	// machine-acquisition count, so Requests/Batches over a batched
+	// workload is the achieved coalescing factor.
+	Batches int64
 	// Failures counts served requests that returned an error.
 	Failures int64
 	// Rejected counts Submits shed with ErrQueueFull.
@@ -591,6 +607,7 @@ func (p *EnginePool) Stats() PoolStats {
 		served := s.served.Load()
 		st.Requests += served
 		st.Steps += s.steps.Load()
+		st.Batches += s.batches.Load()
 		st.Failures += s.failures.Load()
 		st.Canceled += s.canceled.Load()
 		st.Retries += s.retries.Load()

@@ -1,4 +1,4 @@
-// Package harness runs the reproduction experiments E1–E20 (see
+// Package harness runs the reproduction experiments E1–E21 (see
 // DESIGN.md): each of the paper's lemmas and theorems is exercised over
 // parameter sweeps and rendered as a text table comparing measured PRAM
 // step counts against the paper's bounds.
@@ -163,6 +163,7 @@ func All() []Experiment {
 		{ID: "E18", Title: "Native fast-path executor vs pooled on the warm-engine path", Run: runE18},
 		{ID: "E19", Title: "Resilience: availability and tail latency under injected faults", Run: runE19},
 		{ID: "E20", Title: "Sharded execution: exchange volume and balance across fan-outs", Run: runE20},
+		{ID: "E21", Title: "Wire serving: coalescing batcher across batch size × max-wait × offered load", Run: runE21},
 	}
 }
 

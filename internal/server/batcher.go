@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"parlist/internal/engine"
+)
+
+// item is one admitted request riding through the batcher. The handler
+// that admitted it blocks on done; finish publishes the outcome and
+// wakes it. Everything before done closes is written by the batcher
+// side only; everything after is read by the handler side only.
+type item struct {
+	// ctx is the caller's context; an item whose ctx dies while it sits
+	// in a pending group is dropped at flush time without running.
+	ctx    context.Context
+	tenant string
+	proto  string
+	// bi carries the request in and the result/service timestamps out.
+	bi engine.BatchItem
+	// enq and flush are the admission and group-flush timestamps; with
+	// bi.Start/End and the handler's respond stamp they make up the
+	// enqueue → flush → service → respond life cycle.
+	enq, flush time.Time
+	// batched is the fused batch size this item rode in.
+	batched int
+	status  byte
+	err     error
+	done    chan struct{}
+}
+
+// finish publishes the item's outcome exactly once and wakes its
+// handler.
+func (it *item) finish(st byte, err error) {
+	it.status = st
+	it.err = err
+	close(it.done)
+}
+
+// batchKey groups coalescable requests: same op, same size class —
+// exactly the affinity key the pool routes by, so a flushed batch lands
+// on an engine whose arena already fits every item.
+type batchKey struct {
+	op    engine.Op
+	class int
+}
+
+// group is one pending coalescing group. deadline is the oldest item's
+// admission time plus MaxWait — the group flushes when it fills to
+// BatchSize or when that deadline passes, whichever is first.
+type group struct {
+	items    []*item
+	deadline time.Time
+}
+
+// batcher is the coalescing collector: a single goroutine owns the
+// pending groups, so grouping needs no locks. Admission sends items
+// into in (non-blocking — a full inbox is a shed); Shutdown closes in,
+// and the collector flushes every pending group (cause "drain") before
+// exiting.
+type batcher struct {
+	srv *Server
+	in  chan *item
+	// wg tracks the flush-waiter goroutines (one per in-flight fused
+	// batch); after close(in) and <-exited, wg.Wait means every
+	// admitted item has finished.
+	wg     sync.WaitGroup
+	exited chan struct{}
+}
+
+func newBatcher(s *Server) *batcher {
+	depth := 16 * s.cfg.BatchSize
+	if depth < 256 {
+		// A small BatchSize must not starve admission: the inbox is
+		// the server-wide staging area, not a per-group buffer.
+		depth = 256
+	}
+	b := &batcher{
+		srv:    s,
+		in:     make(chan *item, depth),
+		exited: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// run is the collector loop. A single timer is armed to the earliest
+// pending group deadline; size-triggered flushes happen inline on the
+// arrival that fills the group.
+func (b *batcher) run() {
+	defer close(b.exited)
+	pending := make(map[batchKey]*group)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	for {
+		var tc <-chan time.Time
+		var soonest time.Time
+		for _, g := range pending {
+			if soonest.IsZero() || g.deadline.Before(soonest) {
+				soonest = g.deadline
+			}
+		}
+		if !soonest.IsZero() {
+			if armed && !timer.Stop() {
+				<-timer.C
+			}
+			d := time.Until(soonest)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			armed = true
+			tc = timer.C
+		}
+		select {
+		case it, ok := <-b.in:
+			if armed && !timer.Stop() {
+				<-timer.C
+			}
+			armed = false
+			if !ok {
+				for k, g := range pending {
+					delete(pending, k)
+					b.flush(g.items, "drain")
+				}
+				return
+			}
+			n := 0
+			if it.bi.Req.List != nil {
+				n = it.bi.Req.List.Len()
+			}
+			k := batchKey{op: it.bi.Req.Op, class: engine.SizeClass(n)}
+			g := pending[k]
+			if g == nil {
+				g = &group{deadline: it.enq.Add(b.srv.cfg.MaxWait)}
+				pending[k] = g
+			}
+			g.items = append(g.items, it)
+			if len(g.items) >= b.srv.cfg.BatchSize {
+				delete(pending, k)
+				b.flush(g.items, "size")
+			}
+		case now := <-tc:
+			armed = false
+			for k, g := range pending {
+				if !g.deadline.After(now) {
+					delete(pending, k)
+					b.flush(g.items, "timer")
+				}
+			}
+		}
+	}
+}
+
+// flush turns one group into one SubmitBatch call. Items whose context
+// died while batched are dropped here (cancel-while-batched); a shed
+// from the engine queue fails the whole group — no item ran, so the
+// caller can safely retry. The future is awaited on a tracked
+// goroutine so the collector never blocks on engine service time.
+func (b *batcher) flush(items []*item, cause string) {
+	now := time.Now()
+	m := b.srv.met
+	live := make([]*item, 0, len(items))
+	bis := make([]*engine.BatchItem, 0, len(items))
+	for _, it := range items {
+		it.flush = now
+		if err := it.ctx.Err(); err != nil {
+			it.finish(statusOf(err), err)
+			continue
+		}
+		it.bi.Ctx = it.ctx
+		live = append(live, it)
+		bis = append(bis, &it.bi)
+	}
+	if len(live) == 0 {
+		return
+	}
+	m.flushes(cause).Inc()
+	m.batchSize.Observe(int64(len(live)))
+	for _, it := range live {
+		it.batched = len(live)
+		m.batchWait.Observe(now.Sub(it.enq).Nanoseconds())
+	}
+	f, err := b.srv.pool.SubmitBatch(context.Background(), bis)
+	if err != nil {
+		st := StatusShed
+		cause := "queue_full"
+		if errors.Is(err, engine.ErrPoolClosed) {
+			st = StatusDraining
+			cause = "draining"
+		}
+		for _, it := range live {
+			m.sheds(it.tenant, cause).Inc()
+			it.finish(st, err)
+		}
+		return
+	}
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		// The future's ctx is Background: it resolves when every item
+		// has been served (or skipped by its own dead ctx).
+		_, _ = f.Wait(context.Background())
+		for _, it := range live {
+			it.finish(statusOf(it.bi.Err), it.bi.Err)
+		}
+	}()
+}

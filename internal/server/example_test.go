@@ -1,0 +1,53 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"parlist/internal/engine"
+	"parlist/internal/list"
+	"parlist/internal/server"
+)
+
+// ExampleClient_Do runs the serving core in-process, dials it over the
+// binary framing, and ranks a five-node chain. The response carries
+// the result plus the request's life-cycle timestamps.
+func ExampleClient_Do() {
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines: 1, QueueDepth: 16,
+		Engine: engine.Config{Processors: 8},
+	})
+	srv, err := server.New(server.Config{Pool: pool, BatchSize: 4, MaxWait: time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.ServeBinary(ln)
+	defer srv.Shutdown(context.Background())
+
+	client, err := server.Dial(ln.Addr().String(), "example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	chain := &list.List{Next: []int{1, 2, 3, 4, -1}, Head: 0}
+	resp, err := client.Do(context.Background(), engine.Request{Op: engine.OpRank, List: chain})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := resp.Timing
+	ordered := !t.Enqueue.IsZero() && !t.Flush.Before(t.Enqueue) &&
+		!t.Service.Before(t.Flush) && !t.Respond.Before(t.Service)
+	fmt.Println("ranks:", resp.Result.Ranks)
+	fmt.Println("batched:", resp.Batched, "timestamps ordered:", ordered)
+	// Output:
+	// ranks: [0 1 2 3 4]
+	// batched: 1 timestamps ordered: true
+}

@@ -1,0 +1,66 @@
+package server
+
+import "parlist/internal/obs"
+
+// serverMetrics is the parlistd_* family set. Label-less families are
+// created eagerly so /metrics shows them from the first scrape;
+// labelled families materialise children on first use (obs.Registry
+// constructors are idempotent lookups).
+type serverMetrics struct {
+	reg *obs.Registry
+	// inflight is the number of admitted requests that have not yet
+	// been responded to.
+	inflight *obs.Gauge
+	// batchSize observes the fused size of every flushed batch.
+	batchSize *obs.Histogram
+	// batchWait observes each item's enqueue→flush wait in ns.
+	batchWait *obs.Histogram
+	// serviceNs observes each served item's machine time in ns.
+	serviceNs *obs.Histogram
+	// respondNs observes each request's full enqueue→respond time in ns.
+	respondNs *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("parlistd_inflight", "Admitted requests not yet responded to."),
+		batchSize: reg.Histogram("parlistd_batch_size",
+			"Fused size of each flushed coalescing batch."),
+		batchWait: reg.Histogram("parlistd_batch_wait_ns",
+			"Per-item enqueue-to-flush wait in nanoseconds."),
+		serviceNs: reg.Histogram("parlistd_service_ns",
+			"Per-item machine service time in nanoseconds."),
+		respondNs: reg.Histogram("parlistd_respond_ns",
+			"Per-request enqueue-to-respond latency in nanoseconds."),
+	}
+}
+
+// requests counts admitted requests by framing and op.
+func (m *serverMetrics) requests(proto, op string) *obs.Counter {
+	return m.reg.Counter("parlistd_requests_total",
+		"Requests admitted, by framing and operation.",
+		"proto", proto, "op", op)
+}
+
+// failures counts non-OK responses by status label.
+func (m *serverMetrics) failures(code string) *obs.Counter {
+	return m.reg.Counter("parlistd_failures_total",
+		"Non-OK responses, by status code label.",
+		"code", code)
+}
+
+// sheds counts requests refused before running, by tenant and cause
+// (over_limit, queue_full, inbox_full, draining).
+func (m *serverMetrics) sheds(tenant, cause string) *obs.Counter {
+	return m.reg.Counter("parlistd_tenant_shed_total",
+		"Requests shed before running, by tenant and cause.",
+		"tenant", tenant, "cause", cause)
+}
+
+// flushes counts batch flushes by trigger (size, timer, drain).
+func (m *serverMetrics) flushes(cause string) *obs.Counter {
+	return m.reg.Counter("parlistd_batch_flush_total",
+		"Coalescing-batch flushes, by trigger.",
+		"cause", cause)
+}

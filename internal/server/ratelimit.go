@@ -1,0 +1,59 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-tenant token bucket: each tenant refills at
+// rate tokens/second up to burst, and every admitted request spends
+// one token. A nil limiter admits everything — Config.RatePerSec == 0
+// means unlimited.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket, reporting whether one
+// was available. New tenants start with a full bucket.
+func (rl *rateLimiter) allow(tenant string) bool {
+	if rl == nil {
+		return true
+	}
+	now := time.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: rl.burst, last: now}
+		rl.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * rl.rate
+		if b.tokens > rl.burst {
+			b.tokens = rl.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

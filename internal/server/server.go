@@ -1,0 +1,354 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"context"
+
+	"parlist/internal/engine"
+	"parlist/internal/obs"
+)
+
+// TenantHeader is the HTTP header that names the caller's tenant for
+// rate limiting; absent or empty means DefaultTenant. The binary
+// framing carries the tenant in the request frame instead.
+const TenantHeader = "X-Parlist-Tenant"
+
+// DefaultTenant is the bucket requests without a tenant land in.
+const DefaultTenant = "anonymous"
+
+// Config shapes a Server. Pool is the only required field.
+type Config struct {
+	// Pool serves the requests. The server owns its lifecycle from
+	// here on: Shutdown closes it (exactly once — EnginePool.Close is
+	// idempotent).
+	Pool *engine.EnginePool
+	// BatchSize is the coalescing batcher's flush size (default 16).
+	// 1 disables coalescing — every request flushes alone but still
+	// rides the batcher, so timestamps mean the same thing.
+	BatchSize int
+	// MaxWait bounds how long the oldest item of a pending group waits
+	// before the group flushes regardless of size (default 500µs).
+	MaxWait time.Duration
+	// MaxNodes caps a single request's node count (default 1<<24;
+	// larger requests are refused with StatusInvalid).
+	MaxNodes int
+	// MaxFrame caps a binary frame's payload bytes (default
+	// DefaultMaxFrame).
+	MaxFrame int
+	// RatePerSec and Burst configure the per-tenant token bucket
+	// (0 rate = unlimited).
+	RatePerSec float64
+	Burst      float64
+	// Registry receives the parlistd_* metric families and backs the
+	// /metrics handler (default: a fresh registry).
+	Registry *obs.Registry
+}
+
+// Server is the serving daemon's core: admission control (drain state,
+// tenant rate limits), the coalescing batcher, and both wire framings.
+// Create one with New, expose Handler over HTTP and ServeBinary over a
+// raw listener, and stop it with Shutdown.
+type Server struct {
+	cfg      Config
+	pool     *engine.EnginePool
+	reg      *obs.Registry
+	met      *serverMetrics
+	bat      *batcher
+	lim      *rateLimiter
+	maxFrame int
+
+	// mu guards draining and the listener/conn sets. Admission holds
+	// it as a reader across the draining check and the batcher send,
+	// so once Shutdown flips draining under the write lock there are
+	// no in-flight senders and closing the batcher inbox is safe.
+	mu        sync.RWMutex
+	draining  bool
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+
+	// inflight tracks admitted requests up to their response write;
+	// connWG tracks binary connection read loops.
+	inflight sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New returns a running server around cfg.Pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("server: Config.Pool is required")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 16
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 500 * time.Microsecond
+	}
+	if cfg.MaxNodes < 1 {
+		cfg.MaxNodes = 1 << 24
+	}
+	if cfg.MaxFrame < 1 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		pool:      cfg.Pool,
+		reg:       cfg.Registry,
+		maxFrame:  cfg.MaxFrame,
+		lim:       newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	s.met = newServerMetrics(s.reg)
+	s.bat = newBatcher(s)
+	return s, nil
+}
+
+// Registry returns the registry the server's metrics land in.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+func (s *Server) isDraining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}
+
+func (s *Server) trackListener(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return errors.New("server: draining")
+	}
+	s.listeners[ln] = struct{}{}
+	return nil
+}
+
+func (s *Server) trackConn(c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		c.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// do admits one request, rides it through the batcher, and waits for
+// its outcome (or the caller's ctx). On success the returned item
+// carries the result and every life-cycle timestamp; on failure the
+// status classifies it, err carries detail, and the item is nil unless
+// its outcome is settled. A non-nil item means the request was
+// admitted: the caller MUST call finishRequest exactly once after
+// writing its response, so Shutdown's drain covers the write.
+func (s *Server) do(ctx context.Context, proto, tenant string, req engine.Request) (*item, byte, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	s.met.requests(proto, opName(req.Op)).Inc()
+
+	fail := func(st byte, err error) (*item, byte, error) {
+		s.met.failures(statusName(st)).Inc()
+		return nil, st, err
+	}
+	if req.List == nil {
+		return fail(StatusInvalid, engine.ErrNilList)
+	}
+	if n := req.List.Len(); n > s.cfg.MaxNodes {
+		return fail(StatusInvalid, fmt.Errorf("server: %d nodes exceeds limit %d", n, s.cfg.MaxNodes))
+	}
+
+	it := &item{
+		ctx:    ctx,
+		tenant: tenant,
+		proto:  proto,
+		enq:    time.Now(),
+		done:   make(chan struct{}),
+	}
+	it.bi.Req = req
+
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return fail(StatusDraining, errors.New("server: draining"))
+	}
+	if !s.lim.allow(tenant) {
+		s.mu.RUnlock()
+		s.met.sheds(tenant, "over_limit").Inc()
+		return fail(StatusOverLimit, fmt.Errorf("server: tenant %q over rate limit", tenant))
+	}
+	select {
+	case s.bat.in <- it:
+	default:
+		s.mu.RUnlock()
+		s.met.sheds(tenant, "inbox_full").Inc()
+		return fail(StatusShed, errors.New("server: batcher inbox full"))
+	}
+	s.inflight.Add(1)
+	s.met.inflight.Add(1)
+	s.mu.RUnlock()
+
+	select {
+	case <-it.done:
+	case <-ctx.Done():
+		// The batcher still owns the item and will resolve it; this
+		// caller has stopped listening. The item is NOT safe to read.
+		s.met.failures(statusName(statusOf(ctx.Err()))).Inc()
+		return it, statusOf(ctx.Err()), ctx.Err()
+	}
+	if it.status != StatusOK {
+		s.met.failures(statusName(it.status)).Inc()
+		return it, it.status, it.err
+	}
+	s.met.serviceNs.Observe(it.bi.End.Sub(it.bi.Start).Nanoseconds())
+	s.met.respondNs.Observe(time.Since(it.enq).Nanoseconds())
+	return it, StatusOK, nil
+}
+
+// finishRequest retires one admitted request after its response has
+// been written; Shutdown's drain waits for it.
+func (s *Server) finishRequest() {
+	s.met.inflight.Add(-1)
+	s.inflight.Done()
+}
+
+// Handler returns the HTTP side of the server: the seven /v1/<op>
+// JSON endpoints plus /metrics, /healthz and /debug/pprof.
+func (s *Server) Handler() http.Handler {
+	mux := obs.Mux(s.reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	for name, op := range opsByName {
+		mux.HandleFunc("/v1/"+name, s.httpOp(op))
+	}
+	return mux
+}
+
+// httpOp builds the JSON handler for one op.
+func (s *Server) httpOp(op engine.Op) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		// ~3 decimal digits + separator per int keeps the body bound
+		// proportional to the node cap without rejecting valid lists.
+		r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxNodes)*32+4096)
+		var jr jsonRequest
+		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
+			writeJSONError(w, StatusInvalid, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		req, err := buildRequest(op, &jr)
+		if err != nil {
+			writeJSONError(w, StatusInvalid, err)
+			return
+		}
+		it, st, err := s.do(r.Context(), "http", r.Header.Get(TenantHeader), req)
+		if it != nil {
+			defer s.finishRequest()
+		}
+		if st != StatusOK {
+			writeJSONError(w, st, err)
+			return
+		}
+		res := &it.bi.Res
+		resp := jsonResponse{
+			Op:        opName(res.Op),
+			Algorithm: res.Algorithm,
+			In:        res.In,
+			Labels:    res.Labels,
+			Ranks:     res.Ranks,
+			Size:      res.Size,
+			Sets:      res.Sets,
+			Rounds:    res.Rounds,
+			TableSize: res.TableSize,
+			SimTime:   res.Stats.Time,
+			SimWork:   res.Stats.Work,
+			Batched:   it.batched,
+			Timing: jsonTiming{
+				EnqueueNS: it.enq.UnixNano(),
+				FlushNS:   it.flush.UnixNano(),
+				ServiceNS: it.bi.Start.UnixNano(),
+				RespondNS: time.Now().UnixNano(),
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&resp)
+	}
+}
+
+func writeJSONError(w http.ResponseWriter, st byte, err error) {
+	msg := statusName(st)
+	if err != nil {
+		msg = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(httpStatus(st))
+	json.NewEncoder(w).Encode(&jsonError{Error: msg, Code: statusName(st)})
+}
+
+// Shutdown drains the server: stop admitting, flush every pending
+// coalescing group, wait for in-flight batches to be served and their
+// responses written, then close the engine pool. ctx bounds the wait;
+// on expiry the remaining connections are closed anyway and ctx's
+// error is returned. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		for ln := range s.listeners {
+			ln.Close()
+		}
+		s.mu.Unlock()
+
+		// No sender can be inside a batcher send now: senders hold the
+		// read lock across the draining check and the send.
+		close(s.bat.in)
+		<-s.bat.exited
+
+		done := make(chan struct{})
+		go func() {
+			s.bat.wg.Wait()   // every fused batch resolved
+			s.inflight.Wait() // every handler observed its outcome
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			s.shutErr = ctx.Err()
+		}
+
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.connWG.Wait()
+		s.pool.Close()
+	})
+	return s.shutErr
+}

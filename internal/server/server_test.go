@@ -1,0 +1,606 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parlist/internal/engine"
+	"parlist/internal/list"
+	"parlist/internal/matching"
+	"parlist/internal/pram"
+)
+
+// waitGoroutines polls until the goroutine count drops back to want,
+// failing the test if it does not within five seconds.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutine leak: %d running, want ≤ %d", runtime.NumGoroutine(), want)
+}
+
+// newTestServer builds a running server (pool included unless cfg.Pool
+// is set) with a binary listener, and registers a drain-on-cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.Pool == nil {
+		cfg.Pool = engine.NewPool(engine.PoolConfig{
+			Engines: 2, QueueDepth: 64,
+			Engine: engine.Config{Processors: 8},
+		})
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.ServeBinary(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s, ln.Addr().String()
+}
+
+// serverTestRequests mirrors the engine-level coverage: one request
+// per op plus algorithm variants, all wire-encodable.
+func serverTestRequests(t *testing.T, l *list.List) []engine.Request {
+	t.Helper()
+	n := l.Len()
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i%5 - 2
+	}
+	m := pram.New(8)
+	lab, k := matching.PartitionIterated(m, l, nil, 3)
+	m.Close()
+	return []engine.Request{
+		{Op: engine.OpMatching, List: l, Seed: 7},
+		{Op: engine.OpMatching, List: l, Algorithm: engine.AlgoRandomized, Seed: 7},
+		{Op: engine.OpPartition, List: l, Iters: 2},
+		{Op: engine.OpThreeColor, List: l},
+		{Op: engine.OpMIS, List: l},
+		{Op: engine.OpRank, List: l},
+		{Op: engine.OpRank, List: l, Rank: engine.RankWyllie},
+		{Op: engine.OpPrefix, List: l, Values: vals},
+		{Op: engine.OpSchedule, List: l, Labels: lab, K: k},
+	}
+}
+
+// assertSameResult compares a wire result against an in-process one.
+// The wire ships Stats reduced to Time and Work, so those are compared
+// field-wise instead of DeepEqual on the whole Result.
+func assertSameResult(t *testing.T, i int, got *engine.Result, want *engine.Result) {
+	t.Helper()
+	type flat struct {
+		Algorithm                    string
+		In                           []bool
+		Labels, Ranks                []int
+		Size, Sets, Rounds, TableSze int
+		Time, Work                   int64
+	}
+	f := func(r *engine.Result) flat {
+		return flat{r.Algorithm, r.In, r.Labels, r.Ranks,
+			r.Size, r.Sets, r.Rounds, r.TableSize, r.Stats.Time, r.Stats.Work}
+	}
+	g, w := f(got), f(want)
+	if fmt.Sprintf("%+v", g) != fmt.Sprintf("%+v", w) {
+		t.Errorf("request %d: wire result differs:\n got %+v\nwant %+v", i, g, w)
+	}
+}
+
+// TestWireBitIdentity drives all seven ops through the binary framing
+// and checks every result against per-request Do on an identically
+// configured pool.
+func TestWireBitIdentity(t *testing.T) {
+	l := list.RandomList(700, 23)
+	reqs := serverTestRequests(t, l)
+	ctx := context.Background()
+
+	control := engine.NewPool(engine.PoolConfig{
+		Engines: 2, QueueDepth: 64, Engine: engine.Config{Processors: 8}})
+	defer control.Close()
+
+	_, addr := newTestServer(t, Config{BatchSize: 4, MaxWait: time.Millisecond})
+	c, err := Dial(addr, "bit-identity")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	for i, req := range reqs {
+		want, err := control.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("control %d: %v", i, err)
+		}
+		resp, err := c.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("wire %d: %v", i, err)
+		}
+		assertSameResult(t, i, &resp.Result, want)
+		tm := resp.Timing
+		if tm.Enqueue.IsZero() || tm.Flush.Before(tm.Enqueue) ||
+			tm.Service.Before(tm.Flush) || tm.Respond.Before(tm.Service) {
+			t.Errorf("request %d: timestamps out of order: %+v", i, tm)
+		}
+		if resp.Batched < 1 {
+			t.Errorf("request %d: batched = %d", i, resp.Batched)
+		}
+	}
+}
+
+// TestWireCoalescedBatch fires BatchSize identical-class requests
+// concurrently with a long MaxWait, so only the size trigger can flush
+// them: every response must report the full fused size and carry a
+// result identical to per-request Do.
+func TestWireCoalescedBatch(t *testing.T) {
+	const fuse = 8
+	l := list.RandomList(500, 11)
+	ctx := context.Background()
+
+	control := engine.NewPool(engine.PoolConfig{
+		Engines: 2, QueueDepth: 64, Engine: engine.Config{Processors: 8}})
+	defer control.Close()
+	want, err := control.Do(ctx, engine.Request{Op: engine.OpRank, List: l})
+	if err != nil {
+		t.Fatalf("control: %v", err)
+	}
+
+	s, addr := newTestServer(t, Config{BatchSize: fuse, MaxWait: 5 * time.Second})
+	c, err := Dial(addr, "coalesce")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, fuse)
+	errs := make([]error, fuse)
+	for i := 0; i < fuse; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.Do(ctx, engine.Request{Op: engine.OpRank, List: l})
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < fuse; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if resps[i].Batched != fuse {
+			t.Errorf("request %d: batched = %d, want %d", i, resps[i].Batched, fuse)
+		}
+		assertSameResult(t, i, &resps[i].Result, want)
+	}
+	var sb strings.Builder
+	s.Registry().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `parlistd_batch_flush_total{cause="size"}`) {
+		t.Errorf("size-triggered flush not recorded:\n%s", sb.String())
+	}
+}
+
+// TestHTTPAllOps round-trips every op through the JSON framing.
+func TestHTTPAllOps(t *testing.T) {
+	l := list.RandomList(300, 29)
+	reqs := []struct {
+		path string
+		body string
+	}{
+		{"matching", `{"seed": 7}`},
+		{"partition", `{"iters": 2}`},
+		{"threecolor", `{}`},
+		{"mis", `{}`},
+		{"rank", `{"rank": "wyllie"}`},
+		{"prefix", fmt.Sprintf(`{"values": %s}`, jsonInts(make([]int, l.Len())))},
+		{"schedule", ``}, // filled below
+	}
+	m := pram.New(8)
+	lab, k := matching.PartitionIterated(m, l, nil, 3)
+	m.Close()
+	reqs[6].body = fmt.Sprintf(`{"labels": %s, "k": %d}`, jsonInts(lab), k)
+
+	s, _ := newTestServer(t, Config{BatchSize: 2, MaxWait: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, tc := range reqs {
+		var fields map[string]any
+		if err := json.Unmarshal([]byte(tc.body), &fields); err != nil {
+			t.Fatalf("%s: bad test body: %v", tc.path, err)
+		}
+		fields["next"] = l.Next
+		fields["head"] = l.Head
+		body, _ := json.Marshal(fields)
+		resp, err := http.Post(ts.URL+"/v1/"+tc.path, "application/json",
+			bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.path, err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.path, resp.StatusCode, raw)
+		}
+		var jr jsonResponse
+		if err := json.Unmarshal(raw, &jr); err != nil {
+			t.Fatalf("%s: decode: %v", tc.path, err)
+		}
+		if jr.Op != tc.path {
+			t.Errorf("%s: op = %q", tc.path, jr.Op)
+		}
+		if jr.Batched < 1 || jr.Timing.EnqueueNS == 0 || jr.Timing.RespondNS < jr.Timing.EnqueueNS {
+			t.Errorf("%s: bad batching/timing: %+v", tc.path, jr)
+		}
+	}
+}
+
+func jsonInts(v []int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestHTTPErrors maps admission failures onto HTTP codes.
+func TestHTTPErrors(t *testing.T) {
+	s, _ := newTestServer(t, Config{
+		BatchSize: 1, MaxWait: time.Millisecond,
+		MaxNodes: 16, RatePerSec: 0.001, Burst: 2,
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body, tenant string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+		if tenant != "" {
+			req.Header.Set(TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if r := post("/v1/rank", `{"next": "nope"}`, ""); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d", r.StatusCode)
+	}
+	if r := post("/v1/rank", `{}`, ""); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("nil list: status %d", r.StatusCode)
+	}
+	if r := post("/v1/rank", `{"next": [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,-1]}`, ""); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("over node cap: status %d", r.StatusCode)
+	}
+	if r := post("/v1/rank", `{"next": [-1], "variant": "mystery"}`, ""); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad variant: status %d", r.StatusCode)
+	}
+	if r := post("/v1/rank", `{"next": [-1], "rank": "mystery"}`, ""); r.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad scheme: status %d", r.StatusCode)
+	}
+
+	// Tenant over-limit: burst of 2, then empty bucket.
+	for i := 0; i < 2; i++ {
+		if r := post("/v1/rank", `{"next": [1,-1]}`, "hog"); r.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, r.StatusCode)
+		}
+	}
+	r := post("/v1/rank", `{"next": [1,-1]}`, "hog")
+	if r.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("over-limit: status %d, want 429", r.StatusCode)
+	}
+	var je jsonError
+	json.NewDecoder(r.Body).Decode(&je)
+	if je.Code != "over_limit" {
+		t.Errorf("over-limit code = %q", je.Code)
+	}
+	// Another tenant's bucket is untouched.
+	if r := post("/v1/rank", `{"next": [1,-1]}`, "polite"); r.StatusCode != http.StatusOK {
+		t.Errorf("other tenant: status %d", r.StatusCode)
+	}
+
+	var sb strings.Builder
+	s.Registry().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `parlistd_tenant_shed_total{tenant="hog",cause="over_limit"} 1`) {
+		t.Errorf("shed counter missing:\n%s", sb.String())
+	}
+}
+
+// TestMalformedFrames sends broken binary frames and expects an
+// Invalid response followed by connection close.
+func TestMalformedFrames(t *testing.T) {
+	_, addr := newTestServer(t, Config{BatchSize: 1, MaxWait: time.Millisecond, MaxFrame: 1 << 16})
+
+	l := &list.List{Next: []int{1, -1}, Head: 0}
+	valid, err := appendRequestFrame(nil, 1, "", &engine.Request{Op: engine.OpRank, List: l})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	cases := []struct {
+		name  string
+		frame func() []byte
+	}{
+		{"bad magic", func() []byte { f := bytes.Clone(valid); f[4] = 0xff; return f }},
+		{"bad version", func() []byte { f := bytes.Clone(valid); f[5] = 99; return f }},
+		{"unknown algo code", func() []byte { f := bytes.Clone(valid); f[8] = 200; return f }},
+		{"unknown flags", func() []byte { f := bytes.Clone(valid); f[7] = 0x80; return f }},
+		{"truncated header", func() []byte {
+			return append(binary.LittleEndian.AppendUint32(nil, 8), valid[4:12]...)
+		}},
+		{"node count past frame", func() []byte {
+			f := bytes.Clone(valid)
+			binary.LittleEndian.PutUint64(f[4+48:], 1<<40)
+			return f
+		}},
+		{"trailing bytes", func() []byte {
+			f := append(bytes.Clone(valid), 0xaa)
+			binary.LittleEndian.PutUint32(f, uint32(len(f)-4))
+			return f
+		}},
+		{"oversized frame", func() []byte {
+			return binary.LittleEndian.AppendUint32(nil, 1<<20)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer conn.Close()
+			if _, err := conn.Write(tc.frame()); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+				t.Fatalf("read length: %v", err)
+			}
+			buf := make([]byte, binary.LittleEndian.Uint32(lenBuf[:]))
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				t.Fatalf("read frame: %v", err)
+			}
+			r, err := decodeResponseFrame(buf)
+			if err != nil {
+				t.Fatalf("decode response: %v", err)
+			}
+			if r.Status != StatusInvalid {
+				t.Errorf("status = %s, want invalid (%s)", statusName(r.Status), r.Message)
+			}
+			// The server closes the connection after a framing error.
+			if _, err := conn.Read(lenBuf[:1]); err == nil {
+				t.Errorf("connection still open after bad frame")
+			}
+		})
+	}
+}
+
+// TestCancelWhileBatched parks an item in a pending group (huge batch,
+// long wait), cancels its context, and checks the caller is released
+// immediately while the batcher later drops the item without running it.
+func TestCancelWhileBatched(t *testing.T) {
+	s, _ := newTestServer(t, Config{BatchSize: 64, MaxWait: 200 * time.Millisecond})
+	l := &list.List{Next: []int{1, -1}, Head: 0}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		it, st, err := s.do(ctx, "test", "t", engine.Request{Op: engine.OpRank, List: l})
+		if it != nil {
+			s.finishRequest()
+		}
+		if st != StatusInternal && st != StatusDeadline {
+			err = fmt.Errorf("status %s, err %v", statusName(st), err)
+		} else if !errors.Is(err, context.Canceled) {
+			err = fmt.Errorf("err = %v, want context.Canceled", err)
+		} else {
+			err = nil
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the item reach the pending group
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller not released on cancel")
+	}
+	// The timer flush must drop the cancelled item, not run it.
+	time.Sleep(300 * time.Millisecond)
+	st := s.pool.Stats()
+	if st.Requests != 0 {
+		t.Errorf("cancelled item ran: pool served %d requests", st.Requests)
+	}
+}
+
+// TestDrainCompletesInflight parks several requests in a pending group
+// that can only flush on drain (huge batch, huge wait), then shuts the
+// server down: every caller must get its served result back before
+// Shutdown returns, and post-drain requests must be refused.
+func TestDrainCompletesInflight(t *testing.T) {
+	base := runtime.NumGoroutine()
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines: 1, QueueDepth: 16, Engine: engine.Config{Processors: 4}})
+	s, err := New(Config{Pool: pool, BatchSize: 64, MaxWait: time.Hour})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.ServeBinary(ln)
+
+	c, err := Dial(ln.Addr().String(), "drain")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	l := list.RandomList(200, 3)
+	const inflight = 5
+	chans := make([]<-chan *Response, inflight)
+	for i := range chans {
+		ch, err := c.Submit(engine.Request{Op: engine.OpRank, List: l})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		chans[i] = ch
+	}
+	// Wait for all items to reach the batcher's pending group.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.inflight.Value() < inflight && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ctx, cancelT := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelT()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for i, ch := range chans {
+		select {
+		case r, ok := <-ch:
+			if !ok {
+				t.Fatalf("request %d: connection died before response", i)
+			}
+			if r.Status != StatusOK {
+				t.Errorf("request %d: status %s (%s)", i, statusName(r.Status), r.Message)
+			}
+			if r.Batched != inflight {
+				t.Errorf("request %d: batched = %d, want %d (drain flush)", i, r.Batched, inflight)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d: no response after drain", i)
+		}
+	}
+	var sb strings.Builder
+	s.Registry().WritePrometheus(&sb)
+	if !strings.Contains(sb.String(), `parlistd_batch_flush_total{cause="drain"} 1`) {
+		t.Errorf("drain flush not recorded:\n%s", sb.String())
+	}
+	if _, err := Dial(ln.Addr().String(), "late"); err == nil {
+		t.Errorf("listener still accepting after Shutdown")
+	}
+	c.Close()
+	waitGoroutines(t, base)
+}
+
+// TestMetricsFamilies drives a little traffic and asserts every
+// documented parlistd_* family is exported.
+func TestMetricsFamilies(t *testing.T) {
+	s, addr := newTestServer(t, Config{BatchSize: 2, MaxWait: time.Millisecond, RatePerSec: 1000, Burst: 1000})
+	c, err := Dial(addr, "metrics")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	l := &list.List{Next: []int{1, -1}, Head: 0}
+	if _, err := c.Do(context.Background(), engine.Request{Op: engine.OpRank, List: l}); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if _, err := c.Do(context.Background(), engine.Request{Op: engine.Op(99), List: l}); err == nil {
+		t.Fatalf("unknown op served")
+	}
+	want := []string{
+		"parlistd_requests_total",
+		"parlistd_failures_total",
+		"parlistd_batch_size",
+		"parlistd_batch_wait_ns",
+		"parlistd_service_ns",
+		"parlistd_respond_ns",
+		"parlistd_inflight",
+		"parlistd_batch_flush_total",
+	}
+	fams := s.Registry().Families()
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f] = true
+	}
+	for _, f := range want {
+		if !have[f] {
+			t.Errorf("family %s not exported (have %v)", f, fams)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, f := range want {
+		if !strings.Contains(string(raw), f) {
+			t.Errorf("/metrics missing %s", f)
+		}
+	}
+	hc, err := http.Get(ts.URL + "/healthz")
+	if err != nil || hc.StatusCode != http.StatusOK {
+		t.Errorf("/healthz: %v / %v", err, hc)
+	}
+	if hc != nil {
+		hc.Body.Close()
+	}
+}
+
+// TestServerGoroutineHygiene opens and closes a full server + client
+// round trip and checks nothing leaks.
+func TestServerGoroutineHygiene(t *testing.T) {
+	base := runtime.NumGoroutine()
+	pool := engine.NewPool(engine.PoolConfig{
+		Engines: 2, QueueDepth: 16, Engine: engine.Config{Processors: 4}})
+	s, err := New(Config{Pool: pool, BatchSize: 2, MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go s.ServeBinary(ln)
+	c, err := Dial(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	l := list.RandomList(100, 1)
+	for i := 0; i < 4; i++ {
+		if _, err := c.Do(context.Background(), engine.Request{Op: engine.OpMatching, List: l}); err != nil {
+			t.Fatalf("Do %d: %v", i, err)
+		}
+	}
+	c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	waitGoroutines(t, base)
+}
