@@ -103,6 +103,11 @@ type Entry struct {
 	// Wire rows (wire-path/*): the achieved coalescing factor — served
 	// requests per fused machine run (1.0 on the per-request control).
 	MeanBatch float64 `json:"mean_batch,omitempty"`
+	// Tracing rows (wire-path/trace=on): traces tail-kept by the
+	// recorder during the run, and the ns/op cost relative to the
+	// trace=off control (the E22 / CI acceptance bound is ≤ 3%).
+	KeptTraces       int64   `json:"kept_traces,omitempty"`
+	TraceOverheadPct float64 `json:"trace_overhead_pct,omitempty"`
 }
 
 // Report is the emitted document.
@@ -455,12 +460,32 @@ func run(args []string, stdout *os.File) error {
 		}
 		lwire := list.RandomList(nWire, seed)
 		for _, bsz := range []int{1, 8} {
-			e, err := wirePath(lwire, bsz, reqWire)
+			e, err := wirePath(lwire, bsz, reqWire, false, fmt.Sprintf("wire-path/batch=%d", bsz))
 			if err != nil {
 				return fmt.Errorf("wire-path/batch=%d: %w", bsz, err)
 			}
 			fmt.Fprintf(stdout, "%-40s %12.0f ns/op %21.0f req/s %10.0f p99-ns mean-batch=%.2f\n",
 				e.Name, e.NsPerOp, e.RequestsPerSec, e.P99Ns, e.MeanBatch)
+			rep.Benches = append(rep.Benches, e)
+		}
+
+		// Tracing overhead A/B at the coalescing batch size: the trace=on
+		// row head-samples every request, records the full span tree into
+		// the tail-sampling recorder, and must cost no more than 3% ns/op
+		// over the trace=off control (the E22 / CI acceptance bound; rows
+		// only record here).
+		off, err := wirePath(lwire, 8, reqWire, false, "wire-path/trace=off")
+		if err != nil {
+			return fmt.Errorf("wire-path/trace=off: %w", err)
+		}
+		on, err := wirePath(lwire, 8, reqWire, true, "wire-path/trace=on")
+		if err != nil {
+			return fmt.Errorf("wire-path/trace=on: %w", err)
+		}
+		on.TraceOverheadPct = 100 * (on.NsPerOp - off.NsPerOp) / off.NsPerOp
+		for _, e := range []Entry{off, on} {
+			fmt.Fprintf(stdout, "%-40s %12.0f ns/op %21.0f req/s %10.0f p99-ns mean-batch=%.2f kept=%d overhead=%.1f%%\n",
+				e.Name, e.NsPerOp, e.RequestsPerSec, e.P99Ns, e.MeanBatch, e.KeptTraces, e.TraceOverheadPct)
 			rep.Benches = append(rep.Benches, e)
 		}
 	}
@@ -557,14 +582,25 @@ func run(args []string, stdout *os.File) error {
 // wirePath drives one batch-size configuration of the serving core end
 // to end: fresh 2-engine pool with the native executor, binary-framing
 // listener on loopback, one pipelined client submitting rank requests
-// flat-out, graceful drain.
-func wirePath(l *list.List, batch, requests int) (Entry, error) {
-	pool := engine.NewPool(engine.PoolConfig{
+// flat-out, graceful drain. With traced set, the server head-samples
+// every request into a tail-sampling span recorder wired through the
+// pool's collector — the full production tracing path.
+func wirePath(l *list.List, batch, requests int, traced bool, name string) (Entry, error) {
+	var rec *obs.SpanRecorder
+	poolCfg := engine.PoolConfig{
 		Engines:    2,
 		QueueDepth: 256,
 		Engine:     engine.Config{Processors: 256, Exec: pram.Native},
-	})
-	srv, err := server.New(server.Config{Pool: pool, BatchSize: batch, MaxWait: 500 * time.Microsecond})
+	}
+	if traced {
+		rec = obs.NewSpanRecorder(obs.NewTraceSource(1), 0.1)
+		c := obs.NewCollector(obs.NewRegistry())
+		c.AttachSpans(rec)
+		poolCfg.Observer = c
+	}
+	pool := engine.NewPool(poolCfg)
+	srv, err := server.New(server.Config{Pool: pool, BatchSize: batch,
+		MaxWait: 500 * time.Microsecond, Trace: rec, TraceSample: 1})
 	if err != nil {
 		return Entry{}, err
 	}
@@ -630,7 +666,7 @@ func wirePath(l *list.List, batch, requests int) (Entry, error) {
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	e := Entry{
-		Name:           fmt.Sprintf("wire-path/batch=%d", batch),
+		Name:           name,
 		N:              l.Len(),
 		P:              256,
 		Iters:          served,
@@ -638,6 +674,9 @@ func wirePath(l *list.List, batch, requests int) (Entry, error) {
 		RequestsPerSec: float64(served) / elapsed.Seconds(),
 		P99Ns:          float64(lats[int(0.99*float64(len(lats)-1))].Nanoseconds()),
 		MeanBatch:      float64(batchedSum) / float64(served),
+	}
+	if rec != nil {
+		e.KeptTraces = rec.Stats().Kept
 	}
 	return e, nil
 }

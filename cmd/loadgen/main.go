@@ -15,6 +15,12 @@
 // serving after the sweep until interrupted, so the endpoint can be
 // scraped or curl'ed at leisure. -trace FILE writes a Chrome
 // trace-event JSON of the algorithm phase spans, viewable in Perfetto.
+// -trace-slow DUR logs one structured line (with the request's trace
+// id — the /debug/traces lookup key) for every request slower than
+// DUR, in both in-process and -connect modes. -smoke additionally
+// asserts at least one sampled trace is retrievable: in-process via a
+// throwaway local /debug/traces listener, in -connect mode from the
+// daemon named by -debug-addr.
 //
 // Usage:
 //
@@ -47,10 +53,13 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -133,6 +142,8 @@ func run(args []string, out *os.File) error {
 	smoke := fs.Bool("smoke", false, "tiny fixed run for CI smoke tests")
 	chaosMode := fs.Bool("chaos", false, "run the resilience chaos soak instead of the latency sweep")
 	faultRate := fs.Float64("fault-rate", 0.20, "chaos: fraction of requests carrying a panic fault plan")
+	traceSlow := fs.Duration("trace-slow", 0, "log one line with the trace id for every request slower than this (0 disables)")
+	debugAddr := fs.String("debug-addr", "", "with -connect: the daemon's HTTP address, for -smoke's /debug/traces check")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
@@ -193,7 +204,8 @@ func run(args []string, out *os.File) error {
 		if *shardsN > 1 {
 			return usagef("-shards is an in-process mode (drop -connect)")
 		}
-		return wireMode(out, *connect, lists, *requests, *qps, concs, *smoke)
+		tr := &tracer{slow: *traceSlow, log: slowLogger()}
+		return wireMode(out, *connect, *debugAddr, lists, *requests, *qps, concs, *smoke, tr)
 	}
 
 	// The collector is always wired: its hooks are cheap relative to
@@ -204,6 +216,14 @@ func run(args []string, out *os.File) error {
 	if *traceOut != "" {
 		trace = obs.NewTrace()
 		collector.AttachTrace(trace)
+	}
+	// Tracing is opt-in for the in-process sweeps (minting contexts puts
+	// every request on the span path), switched on by -trace-slow or
+	// -smoke — the smoke run asserts traces are actually retrievable.
+	tr := &tracer{slow: *traceSlow, log: slowLogger()}
+	if *traceSlow > 0 || *smoke {
+		tr.rec = obs.NewSpanRecorder(obs.NewTraceSource(*seed), 1)
+		collector.AttachSpans(tr.rec)
 	}
 	var srvErr chan error
 	if *listen != "" {
@@ -230,15 +250,15 @@ func run(args []string, out *os.File) error {
 		*enginesN, *queueDepth, *cache, *p, exec, sizes)
 
 	if *qps > 0 {
-		if err := openLoop(out, pool, lists, *requests, *qps); err != nil {
+		if err := openLoop(out, pool, lists, *requests, *qps, tr); err != nil {
 			return err
 		}
 	} else {
 		for _, conc := range concs {
 			if *shardsN > 1 {
-				err = closedLoopSharded(out, pool, lists, conc, *requests, *shardsN)
+				err = closedLoopSharded(out, pool, lists, conc, *requests, *shardsN, tr)
 			} else {
-				err = closedLoop(out, pool, lists, conc, *requests)
+				err = closedLoop(out, pool, lists, conc, *requests, tr)
 			}
 			if err != nil {
 				return err
@@ -250,6 +270,23 @@ func run(args []string, out *os.File) error {
 		for _, e := range st.PerEngine {
 			fmt.Fprintf(out, "  engine served=%d rebuilds=%d arena %d/%d hits\n",
 				e.Served, e.Stats.Rebuilds, e.Stats.Arena.Hits, e.Stats.Arena.Gets)
+		}
+	}
+
+	if *smoke && tr.rec != nil {
+		// Round-trip the smoke traces through a real /debug/traces
+		// listener rather than reading the recorder directly — the
+		// assertion covers the export path an operator would hit.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("smoke trace listener: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/traces", obs.TracesHandler(tr.rec))
+		go http.Serve(ln, mux)
+		if err := assertTraces(out, fmt.Sprintf("http://%s/debug/traces", ln.Addr())); err != nil {
+			return err
 		}
 	}
 
@@ -283,11 +320,80 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
+// tracer is loadgen's client-side tracing state: a span recorder for
+// in-process runs (nil in wire mode — the daemon records), the
+// -trace-slow threshold, and the logger the slow one-liners go to.
+type tracer struct {
+	rec  *obs.SpanRecorder
+	slow time.Duration
+	log  *slog.Logger
+}
+
+// slowLogger builds the -trace-slow logger: structured one-liners on
+// stderr, so sweep rows on stdout stay machine-readable.
+func slowLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
+}
+
+// mint returns a fresh sampled trace context, or the zero context when
+// the tracer has no recorder (wire mode: the daemon mints).
+func (t *tracer) mint() obs.TraceContext {
+	if t == nil || t.rec == nil {
+		return obs.TraceContext{}
+	}
+	return t.rec.Source().NewContext(true)
+}
+
+// slowCheck logs one line naming the trace when a request crossed the
+// -trace-slow threshold — the id is the /debug/traces lookup key.
+func (t *tracer) slowCheck(tc obs.TraceContext, dur time.Duration) {
+	if t == nil || t.slow <= 0 || dur < t.slow || !tc.Valid() {
+		return
+	}
+	t.log.Warn("slow request", "trace", tc.TraceID(), "dur", dur, "threshold", t.slow)
+}
+
+// assertTraces fetches a /debug/traces endpoint and fails unless at
+// least one sampled trace (a root span and its children) came back.
+func assertTraces(out *os.File, url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("smoke: fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("smoke: fetch %s: status %s", url, resp.Status)
+	}
+	spans, roots := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var rec struct {
+			Parent string `json:"parent"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("smoke: bad span line from %s: %w", url, err)
+		}
+		spans++
+		if rec.Parent == "" {
+			roots++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("smoke: read %s: %w", url, err)
+	}
+	if roots == 0 {
+		return fmt.Errorf("smoke: no sampled traces at %s (%d spans)", url, spans)
+	}
+	fmt.Fprintf(out, "smoke: %d sampled traces (%d spans) retrievable at %s\n", roots, spans, url)
+	return nil
+}
+
 // wireMode drives a running parlistd over the binary framing: an open
 // loop when qps > 0, otherwise the closed-loop -conc sweep. -smoke
 // shrinks it to CI size. All requests are rank requests (results are
 // length-checked), pipelined on one connection.
-func wireMode(out *os.File, addr string, lists []*list.List, requests int, qps float64, concs []int, smoke bool) error {
+func wireMode(out *os.File, addr, debugAddr string, lists []*list.List, requests int, qps float64, concs []int, smoke bool, tr *tracer) error {
 	if smoke {
 		requests = 40
 		if qps == 0 {
@@ -300,12 +406,21 @@ func wireMode(out *os.File, addr string, lists []*list.List, requests int, qps f
 	}
 	defer c.Close()
 	if qps > 0 {
-		return wireOpenLoop(out, c, lists, requests, qps)
-	}
-	for _, conc := range concs {
-		if err := wireClosedLoop(out, c, lists, conc, requests); err != nil {
-			return err
+		err = wireOpenLoop(out, c, lists, requests, qps, tr)
+	} else {
+		for _, conc := range concs {
+			if err = wireClosedLoop(out, c, lists, conc, requests, tr); err != nil {
+				break
+			}
 		}
+	}
+	if err != nil {
+		return err
+	}
+	if smoke && debugAddr != "" {
+		// The daemon head-samples and tail-keeps (cold start keeps the
+		// first 64 roots), so a 40-request smoke must leave traces.
+		return assertTraces(out, fmt.Sprintf("http://%s/debug/traces", debugAddr))
 	}
 	return nil
 }
@@ -313,7 +428,7 @@ func wireMode(out *os.File, addr string, lists []*list.List, requests int, qps f
 // wireOpenLoop paces Submit frames at the target rate and collects
 // responses as they arrive; daemon sheds (queue-full, over-limit) are
 // drops, anything else non-OK fails the run.
-func wireOpenLoop(out *os.File, c *server.Client, lists []*list.List, requests int, qps float64) error {
+func wireOpenLoop(out *os.File, c *server.Client, lists []*list.List, requests int, qps float64, tr *tracer) error {
 	interval := time.Duration(float64(time.Second) / qps)
 	var mu sync.Mutex
 	var lat []time.Duration
@@ -348,6 +463,7 @@ func wireOpenLoop(out *os.File, c *server.Client, lists []*list.List, requests i
 				}
 				served++
 				batchedSum += r.Batched
+				tr.slowCheck(r.Trace, time.Since(t0))
 				lat = append(lat, time.Since(t0))
 			case r.Status == server.StatusShed || r.Status == server.StatusOverLimit:
 				drops++
@@ -375,7 +491,7 @@ func wireOpenLoop(out *os.File, c *server.Client, lists []*list.List, requests i
 
 // wireClosedLoop runs conc workers issuing Do back-to-back over the
 // shared pipelined connection and prints one sweep row.
-func wireClosedLoop(out *os.File, c *server.Client, lists []*list.List, conc, requests int) error {
+func wireClosedLoop(out *os.File, c *server.Client, lists []*list.List, conc, requests int, tr *tracer) error {
 	ctx := context.Background()
 	per := requests / conc
 	if per < 1 {
@@ -404,6 +520,7 @@ func wireClosedLoop(out *os.File, c *server.Client, lists []*list.List, conc, re
 					errs[w] = fmt.Errorf("short result: %d ranks for n=%d", len(r.Result.Ranks), l.Len())
 					return
 				}
+				tr.slowCheck(r.Trace, time.Since(t0))
 				lat[w] = append(lat[w], time.Since(t0))
 				batched[w] += r.Batched
 			}
@@ -466,9 +583,11 @@ func runChaos(out *os.File, engines int, seed int64, faultRate float64, smoke bo
 // and returns its per-request metrics, which split total latency into
 // queue wait and service time — the two components the sweep rows
 // report separately.
-func doMetrics(ctx context.Context, pool *engine.EnginePool, l *list.List) (engine.RequestMetrics, error) {
+func doMetrics(ctx context.Context, pool *engine.EnginePool, l *list.List, tr *tracer) (engine.RequestMetrics, error) {
+	tc := tr.mint()
+	t0 := time.Now()
 	for {
-		f, err := pool.Submit(ctx, engine.Request{List: l})
+		f, err := pool.Submit(ctx, engine.Request{List: l, Trace: tc})
 		if errors.Is(err, engine.ErrQueueFull) {
 			time.Sleep(50 * time.Microsecond)
 			continue
@@ -483,6 +602,7 @@ func doMetrics(ctx context.Context, pool *engine.EnginePool, l *list.List) (engi
 		if len(res.In) != l.Len() {
 			return engine.RequestMetrics{}, fmt.Errorf("short result: %d in-flags for n=%d", len(res.In), l.Len())
 		}
+		tr.slowCheck(tc, time.Since(t0))
 		return f.Metrics(), nil
 	}
 }
@@ -491,7 +611,7 @@ func doMetrics(ctx context.Context, pool *engine.EnginePool, l *list.List) (engi
 // one sweep row with queue-wait and service-time percentiles broken out
 // (a fast engine behind a deep queue and a slow engine behind an empty
 // one have the same total latency; the split tells them apart).
-func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests int) error {
+func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests int, tr *tracer) error {
 	ctx := context.Background()
 	per := requests / conc
 	if per < 1 {
@@ -510,7 +630,7 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 			samples[w] = make([]sample, 0, per)
 			for i := 0; i < per; i++ {
 				l := lists[(w*per+i)%len(lists)]
-				m, err := doMetrics(ctx, pool, l)
+				m, err := doMetrics(ctx, pool, l, tr)
 				if err != nil {
 					errs[w] = err
 					return
@@ -550,7 +670,7 @@ func closedLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, conc,
 // row adds the sharded plan's data-movement accounting — per-request
 // exchange volume and the mean contract-stage imbalance — next to the
 // usual latency percentiles.
-func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests, shards int) error {
+func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List, conc, requests, shards int, tr *tracer) error {
 	ctx := context.Background()
 	per := requests / conc
 	if per < 1 {
@@ -572,8 +692,9 @@ func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List
 			lat[w] = make([]time.Duration, 0, per)
 			for i := 0; i < per; i++ {
 				l := lists[(w*per+i)%len(lists)]
+				tc := tr.mint()
 				t0 := time.Now()
-				res, err := pool.ShardedDo(ctx, engine.Request{Op: engine.OpRank, List: l}, shards)
+				res, err := pool.ShardedDo(ctx, engine.Request{Op: engine.OpRank, List: l, Trace: tc}, shards)
 				if err != nil {
 					errs[w] = err
 					return
@@ -582,6 +703,7 @@ func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List
 					errs[w] = fmt.Errorf("short result: %d ranks for n=%d", len(res.Ranks), l.Len())
 					return
 				}
+				tr.slowCheck(tc, time.Since(t0))
 				lat[w] = append(lat[w], time.Since(t0))
 				mu.Lock()
 				exchange += res.Sharding.ExchangeBytes
@@ -612,10 +734,11 @@ func closedLoopSharded(out *os.File, pool *engine.EnginePool, lists []*list.List
 
 // openLoop paces Submit at the target rate; overload surfaces as
 // ErrQueueFull drops rather than queueing delay.
-func openLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, requests int, qps float64) error {
+func openLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, requests int, qps float64, tr *tracer) error {
 	ctx := context.Background()
 	interval := time.Duration(float64(time.Second) / qps)
 	futures := make([]*engine.Future, 0, requests)
+	traces := make([]obs.TraceContext, 0, requests)
 	drops := 0
 	start := time.Now()
 	next := start
@@ -624,7 +747,8 @@ func openLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, request
 			time.Sleep(d)
 		}
 		next = next.Add(interval)
-		f, err := pool.Submit(ctx, engine.Request{List: lists[i%len(lists)]})
+		tc := tr.mint()
+		f, err := pool.Submit(ctx, engine.Request{List: lists[i%len(lists)], Trace: tc})
 		switch {
 		case errors.Is(err, engine.ErrQueueFull):
 			drops++
@@ -632,14 +756,16 @@ func openLoop(out *os.File, pool *engine.EnginePool, lists []*list.List, request
 			return err
 		default:
 			futures = append(futures, f)
+			traces = append(traces, tc)
 		}
 	}
 	lat := make([]time.Duration, 0, len(futures))
-	for _, f := range futures {
+	for i, f := range futures {
 		if _, err := f.Wait(ctx); err != nil {
 			return err
 		}
 		m := f.Metrics()
+		tr.slowCheck(traces[i], m.QueueWait+m.Service)
 		lat = append(lat, m.QueueWait+m.Service)
 	}
 	elapsed := time.Since(start)

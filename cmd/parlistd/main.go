@@ -5,8 +5,16 @@
 //
 // Two listeners: -http serves the JSON framing (POST /v1/{matching,
 // partition,threecolor,mis,rank,prefix,schedule}) plus /metrics,
-// /healthz and /debug/pprof; -binary serves the length-prefixed binary
-// framing that loadgen -connect and internal/server.Client speak.
+// /healthz, /statusz, /debug/traces and /debug/pprof; -binary serves
+// the length-prefixed binary framing that loadgen -connect and
+// internal/server.Client speak.
+//
+// Every admitted request is traced: contexts arrive on the wire
+// (X-Parlist-Trace, or the binary frame's trace block) or are minted
+// here with probability -trace-sample. Finished traces tail-sample
+// into a ring (-trace-keep; errors and slow outliers always kept) and
+// export at /debug/traces; /statusz shows the slowest kept traces
+// live.
 //
 // Usage:
 //
@@ -81,6 +89,9 @@ func run(args []string, out *os.File) error {
 	burst := fs.Float64("burst", 0, "per-tenant token-bucket burst (defaults to rate)")
 	maxNodes := fs.Int("max-nodes", 1<<24, "largest accepted input list")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget after SIGTERM")
+	traceSample := fs.Float64("trace-sample", 1, "head-sampling probability for requests arriving without a trace context (0 disables minting)")
+	traceKeep := fs.Float64("trace-keep", 0.1, "tail-sampling keep rate for unremarkable traces (errors and slow outliers are always kept)")
+	traceSeed := fs.Int64("trace-seed", 0, "trace-id generator seed (0 = nondeterministic)")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
@@ -106,9 +117,18 @@ func run(args []string, out *os.File) error {
 
 	// One registry carries both layers: the pool collector's engine/
 	// queue families and the server's parlistd_* families share the
-	// /metrics endpoint.
+	// /metrics endpoint. One trace source + recorder likewise spans both
+	// layers: the pool collector's engine-side spans and the server's
+	// request/inbox/queue spans land in the same ring, so /debug/traces
+	// shows the whole inbox→batch→queue→engine tree per request.
 	reg := obs.NewRegistry()
 	collector := obs.NewCollector(reg)
+	seed := *traceSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rec := obs.NewSpanRecorder(obs.NewTraceSource(seed), *traceKeep)
+	collector.AttachSpans(rec)
 	pool := engine.NewPool(engine.PoolConfig{
 		Engines:    *enginesN,
 		QueueDepth: *queueDepth,
@@ -117,13 +137,15 @@ func run(args []string, out *os.File) error {
 		Engine:     engine.Config{Processors: *p, Exec: exec, Workers: *workers},
 	})
 	srv, err := server.New(server.Config{
-		Pool:       pool,
-		BatchSize:  *batch,
-		MaxWait:    *maxWait,
-		MaxNodes:   *maxNodes,
-		RatePerSec: *rate,
-		Burst:      *burst,
-		Registry:   reg,
+		Pool:        pool,
+		BatchSize:   *batch,
+		MaxWait:     *maxWait,
+		MaxNodes:    *maxNodes,
+		RatePerSec:  *rate,
+		Burst:       *burst,
+		Registry:    reg,
+		Trace:       rec,
+		TraceSample: *traceSample,
 	})
 	if err != nil {
 		return err
@@ -147,8 +169,8 @@ func run(args []string, out *os.File) error {
 		go func() { binErr <- srv.ServeBinary(binLn) }()
 		fmt.Fprintf(out, "parlistd: binary framing on %s\n", binLn.Addr())
 	}
-	fmt.Fprintf(out, "parlistd: engines=%d queue=%d p=%d exec=%s batch=%d maxwait=%v rate=%.0f/s\n",
-		*enginesN, *queueDepth, *p, exec, *batch, *maxWait, *rate)
+	fmt.Fprintf(out, "parlistd: engines=%d queue=%d p=%d exec=%s batch=%d maxwait=%v rate=%.0f/s trace-sample=%.2f\n",
+		*enginesN, *queueDepth, *p, exec, *batch, *maxWait, *rate, *traceSample)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

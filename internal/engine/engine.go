@@ -22,6 +22,7 @@ import (
 	"parlist/internal/color"
 	"parlist/internal/list"
 	"parlist/internal/matching"
+	"parlist/internal/obs"
 	"parlist/internal/partition"
 	"parlist/internal/pram"
 	"parlist/internal/rank"
@@ -213,6 +214,16 @@ type Request struct {
 	// simulated rounds when it dies mid-service. A context deadline is
 	// honoured the same way; the earlier of the two wins.
 	Deadline time.Duration
+
+	// Trace is the request's distributed-tracing context (zero value =
+	// untraced). It is observation-only: the computation, its Result
+	// and its simulated Stats are bit-identical with or without it, it
+	// never enters the result-cache key, and spans are emitted only
+	// when Trace.Sampled and the pool's observer implements
+	// SpanObserver. The serving daemon propagates it from the wire
+	// (X-Parlist-Trace / the binary frame's trace block); in-process
+	// callers mint one from an obs.TraceSource.
+	Trace obs.TraceContext
 
 	// deadlineAt is the absolute deadline the pool derives from
 	// Deadline at admission, so queue time spends the same budget as

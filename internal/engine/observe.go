@@ -59,6 +59,29 @@ type ShardObserver interface {
 	ShardStepObserved(kind string, shard int, wall, barrierWait time.Duration)
 }
 
+// SpanObserver receives trace-span observations from an EnginePool
+// whose PoolObserver also implements it. Spans are emitted only for
+// requests whose TraceContext is sampled, so an attached observer that
+// implements SpanObserver costs nothing on unsampled traffic; with no
+// observer (or one that does not implement this interface) the request
+// path is bit-for-bit the untraced one. Like the other observation
+// interfaces it is declared over basic types only. Methods are called
+// concurrently from dispatchers, retry goroutines and sharded-request
+// coordinators.
+type SpanObserver interface {
+	// SpanObserved reports one completed span. traceHi/traceLo are the
+	// 128-bit trace id halves; spanID is the span's id (0 = let the
+	// recorder mint one) and parentID its parent's (0 = root span).
+	// name is the span's stage ("request", "queue", "engine",
+	// "step-contract", …), shard the owning shard/engine index (-1 =
+	// none), attempt the retry attempt the span belongs to, start/d its
+	// wall-clock extent, and status "" for success or a short failure
+	// class ("error", "transient", "deadline", "shed", "canceled").
+	SpanObserved(traceHi, traceLo, spanID, parentID uint64,
+		name string, shard, attempt int,
+		start time.Time, d time.Duration, status string)
+}
+
 // ResilienceObserver receives resilience-layer observations from an
 // EnginePool whose PoolObserver also implements it. It is a separate
 // interface — not new methods on PoolObserver — so existing observers

@@ -70,7 +70,8 @@ type PoolConfig struct {
 	// the whole stack: pool admission, engine requests, and (when it
 	// implements pram.Observer) simulator rounds and barriers. A value
 	// that additionally implements ResilienceObserver receives retry,
-	// breaker and deadline observations.
+	// breaker and deadline observations; one that implements
+	// SpanObserver receives trace spans for sampled requests.
 	Observer PoolObserver
 }
 
@@ -99,6 +100,11 @@ type Future struct {
 	req  Request
 	enq  time.Time
 	done chan struct{}
+
+	// born is the original admission instant. Unlike enq it survives
+	// retry re-enqueues, so the traced root span covers the request's
+	// whole life, backoffs included.
+	born time.Time
 
 	// deadline is the absolute budget derived from Request.Deadline at
 	// admission (zero = none); attempts counts retries consumed. Both
@@ -231,6 +237,12 @@ type EnginePool struct {
 	shobsv ShardObserver
 	plans  sync.Map
 
+	// spobsv is the Observer's SpanObserver facet, if it has one
+	// (tracing). Every emission site gates on spobsv != nil AND the
+	// request's TraceContext being sampled, so untraced and unsampled
+	// traffic pays nothing.
+	spobsv SpanObserver
+
 	// mu guards closed against in-flight Submits: Submit holds the read
 	// side while it enqueues, Close takes the write side before closing
 	// the queues, so no send can race a close.
@@ -292,6 +304,7 @@ func NewPool(cfg PoolConfig) *EnginePool {
 	p := &EnginePool{cfg: cfg, stop: make(chan struct{})}
 	p.robsv, _ = cfg.Observer.(ResilienceObserver)
 	p.shobsv, _ = cfg.Observer.(ShardObserver)
+	p.spobsv, _ = cfg.Observer.(SpanObserver)
 	if cfg.Breaker.Threshold > 0 {
 		p.canary = newCanary(cfg.Breaker.CanaryN)
 	}
@@ -343,12 +356,18 @@ func (p *EnginePool) Submit(ctx context.Context, req Request) (*Future, error) {
 				}
 				f := &Future{done: make(chan struct{}), m: RequestMetrics{Engine: -1, CacheHit: true}}
 				f.resolve(res, nil)
+				if p.spobsv != nil && req.Trace.Sampled {
+					now := time.Now()
+					p.childSpan(req.Trace, "cache", -1, 0, now, 0, "")
+					p.rootSpan(req.Trace, -1, 0, now, 0, "")
+				}
 				return f, nil
 			}
 		}
 	}
 	s := p.pick(req)
 	f := &Future{ctx: ctx, req: req, enq: time.Now(), done: make(chan struct{})}
+	f.born = f.enq
 	if req.Deadline > 0 {
 		f.deadline = f.enq.Add(req.Deadline)
 		f.req.deadlineAt = f.deadline
@@ -439,9 +458,17 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		o.DequeueObserved(wait, len(s.queue))
 	}
 	f.m = RequestMetrics{Engine: s.id, QueueWait: wait}
+	tc := traceOf(f)
+	traced := p.spobsv != nil && tc.Sampled
+	if traced {
+		p.childSpan(tc, "queue", s.id, f.attempts, f.enq, wait, "")
+	}
 	if err := f.ctx.Err(); err != nil {
 		s.canceled.Add(1)
 		s.pending.Add(-1)
+		if traced && f.step == nil {
+			p.rootSpan(tc, s.id, f.attempts, f.born, time.Since(f.born), spanStatus(err))
+		}
 		f.resolve(nil, err)
 		return
 	}
@@ -454,6 +481,9 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 			p.robsv.DeadlineExceededObserved()
 		}
 		s.pending.Add(-1)
+		if traced && f.step == nil {
+			p.rootSpan(tc, s.id, f.attempts, f.born, time.Since(f.born), "deadline")
+		}
 		f.resolve(nil, fmt.Errorf("engine pool: engine %d: queued past deadline: %w", s.id, ErrDeadlineExceeded))
 		return
 	}
@@ -474,6 +504,13 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 	}
 	f.m.Service = time.Since(start)
 	s.serviceNs.Add(int64(f.m.Service))
+	if traced {
+		name := "engine"
+		if f.step != nil {
+			name = stepLabel(f.step.kind)
+		}
+		p.childSpan(tc, name, s.id, f.attempts, start, f.m.Service, spanStatus(err))
+	}
 	if err != nil {
 		s.failures.Add(1)
 		switch {
@@ -492,6 +529,9 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 			}
 		}
 		s.pending.Add(-1)
+		if traced && f.step == nil {
+			p.rootSpan(tc, s.id, f.attempts, f.born, time.Since(f.born), spanStatus(err))
+		}
 		f.resolve(nil, err)
 		return
 	}
@@ -502,6 +542,9 @@ func (p *EnginePool) serve(s *shard, f *Future) {
 		}
 	}
 	s.pending.Add(-1)
+	if traced && f.step == nil {
+		p.rootSpan(tc, s.id, f.attempts, f.born, time.Since(f.born), "")
+	}
 	f.resolve(res, nil)
 }
 
@@ -544,6 +587,10 @@ type EngineLoad struct {
 	// Served counts requests this engine completed (successes and
 	// failures; cancellations resolved in queue are excluded).
 	Served int64
+	// Pending is the engine's instantaneous backlog at snapshot time:
+	// requests admitted and not yet resolved — the same signal the
+	// placement logic balances on. /statusz renders it as live load.
+	Pending int
 	// Breaker is the engine's circuit-breaker state (BreakerClosed when
 	// breakers are disabled); Trips counts its closed→open transitions.
 	Breaker BreakerState
@@ -616,6 +663,7 @@ func (p *EnginePool) Stats() PoolStats {
 		st.Service += time.Duration(s.serviceNs.Load())
 		st.PerEngine[i] = EngineLoad{
 			Served:  served,
+			Pending: s.load(),
 			Breaker: s.brk.now(),
 			Trips:   s.brk.trips.Load(),
 			Stats:   s.eng.Stats(),

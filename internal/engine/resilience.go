@@ -294,15 +294,31 @@ func (p *EnginePool) scheduleRetry(from *shard, f *Future, cause error) bool {
 // deadline passed, or pool shutdown (resolved with the original cause
 // so callers see the real failure, not an artefact of Close).
 func (p *EnginePool) retry(from *shard, f *Future, cause error) {
+	tc := traceOf(f)
+	traced := p.spobsv != nil && tc.Sampled
+	t0 := time.Now()
+	// fail resolves f with err on a terminal retry-path exit, emitting
+	// the backoff span (tagged with the attempt it was buying) and — for
+	// plain futures — the trace's root span first, so a waiter that
+	// reads the recorder after Wait sees the finished trace.
+	fail := func(status string, err error) {
+		if traced {
+			p.childSpan(tc, "retry", from.id, f.attempts, t0, time.Since(t0), status)
+			if f.step == nil {
+				p.rootSpan(tc, from.id, f.attempts, f.born, time.Since(f.born), status)
+			}
+		}
+		f.resolve(nil, err)
+	}
 	t := time.NewTimer(p.backoff(f))
 	defer t.Stop()
 	select {
 	case <-t.C:
 	case <-f.ctx.Done():
-		f.resolve(nil, f.ctx.Err())
+		fail(spanStatus(f.ctx.Err()), f.ctx.Err())
 		return
 	case <-p.stop:
-		f.resolve(nil, fmt.Errorf("engine pool: retry abandoned at shutdown: %w", cause))
+		fail("error", fmt.Errorf("engine pool: retry abandoned at shutdown: %w", cause))
 		return
 	}
 	if !f.deadline.IsZero() && time.Now().After(f.deadline) {
@@ -310,7 +326,7 @@ func (p *EnginePool) retry(from *shard, f *Future, cause error) {
 			p.robsv.DeadlineExceededObserved()
 		}
 		from.deadlined.Add(1)
-		f.resolve(nil, fmt.Errorf("engine pool: deadline passed during retry backoff: %w", ErrDeadlineExceeded))
+		fail("deadline", fmt.Errorf("engine pool: deadline passed during retry backoff: %w", ErrDeadlineExceeded))
 		return
 	}
 	s := p.choose(from.id)
@@ -318,15 +334,18 @@ func (p *EnginePool) retry(from *shard, f *Future, cause error) {
 	f.enq = time.Now()
 	select {
 	case s.queue <- f:
+		if traced {
+			p.childSpan(tc, "retry", from.id, f.attempts, t0, time.Since(t0), "")
+		}
 		if o := p.cfg.Observer; o != nil {
 			o.EnqueueObserved(len(s.queue))
 		}
 	case <-f.ctx.Done():
 		s.pending.Add(-1)
-		f.resolve(nil, f.ctx.Err())
+		fail(spanStatus(f.ctx.Err()), f.ctx.Err())
 	case <-p.stop:
 		s.pending.Add(-1)
-		f.resolve(nil, fmt.Errorf("engine pool: retry abandoned at shutdown: %w", cause))
+		fail("error", fmt.Errorf("engine pool: retry abandoned at shutdown: %w", cause))
 	}
 }
 

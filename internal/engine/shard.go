@@ -140,9 +140,11 @@ func (p *EnginePool) ShardedDo(ctx context.Context, req Request, shards int) (*R
 		return res, err
 	}
 
+	t0 := time.Now()
+	traced := p.spobsv != nil && req.Trace.Sampled
 	var deadlineAt time.Time
 	if req.Deadline > 0 {
-		deadlineAt = time.Now().Add(req.Deadline)
+		deadlineAt = t0.Add(req.Deadline)
 	}
 
 	pl := p.shardPlan(k)
@@ -170,9 +172,13 @@ stages:
 			// The gather/stitch runs inline on this goroutine — it is the
 			// plan's data movement, not machine work; its cost is
 			// surfaced as ExchangeBytes rather than simulated time.
+			exStart := time.Now()
 			rank.Exchange(st)
 			sh.Segments = st.Segments
 			sh.ExchangeBytes = plan.ExchangeBytes(st.Segments)
+			if traced {
+				p.childSpan(req.Trace, "exchange", -1, 0, exStart, time.Since(exStart), "")
+			}
 			continue
 		}
 		for _, id := range stage {
@@ -183,6 +189,7 @@ stages:
 				st:         st,
 				procs:      req.Processors,
 				deadlineAt: deadlineAt,
+				trace:      req.Trace,
 			}
 			if step.Kind == plan.KindReducedSolve {
 				specs[id].shard = 0
@@ -246,6 +253,9 @@ stages:
 		}
 	}
 	if firstErr != nil {
+		if traced {
+			p.rootSpan(req.Trace, -1, sh.StepRetries, t0, time.Since(t0), spanStatus(firstErr))
+		}
 		return nil, firstErr
 	}
 
@@ -263,6 +273,9 @@ stages:
 		p.shobsv.ShardedRequestObserved(k, sh.Segments, sh.ExchangeBytes, int64(sh.Imbalance*1000))
 	}
 
+	if traced {
+		p.rootSpan(req.Trace, -1, sh.StepRetries, t0, time.Since(t0), "")
+	}
 	res := &Result{Op: req.Op, Stats: agg, Sharding: sh}
 	res.Ranks = append(res.Ranks, st.Out[:n]...)
 	return res, nil

@@ -294,7 +294,16 @@ func TestShardedDoSteadyStateAllocBudget(t *testing.T) {
 		}
 		run() // warm plan cache, arena buckets, engine free lists
 		run()
-		return testing.AllocsPerRun(10, run)
+		// Parallel steps make the per-sample count jitter with goroutine
+		// scheduling (±10 on a loaded 1-CPU host, worse under -race); the
+		// minimum over a few samples is the intrinsic allocation count.
+		best := testing.AllocsPerRun(10, run)
+		for i := 0; i < 2; i++ {
+			if a := testing.AllocsPerRun(10, run); a < best {
+				best = a
+			}
+		}
+		return best
 	}
 
 	small, large := measure(1<<12), measure(1<<14)

@@ -1,0 +1,69 @@
+package engine
+
+// Trace-span emission for the pool. Spans flow through the Observer's
+// SpanObserver facet (observe.go); every site gates on the facet being
+// present AND the request's TraceContext being sampled, so the
+// untraced request path is bit-for-bit the pre-tracing one — the
+// zero-alloc steady-state guarantee and Stats bit-identity are
+// preserved by construction, not by luck.
+//
+// Span topology is flat: one root "request" span per trace plus one
+// child per stage ("queue", "engine"/"step-*", "retry", "exchange",
+// "cache"), all parented directly onto the root. Children are emitted
+// as their stage completes; the root is emitted last, at terminal
+// resolution, because the recorder finalizes a trace when its root
+// lands (obs.SpanRecorder).
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"parlist/internal/obs"
+	"parlist/internal/pram"
+)
+
+// traceOf returns the trace context a future's spans belong to. Step
+// futures carry their sharded request's context (shard.go); batch
+// futures are untraced as a unit — the serving layer traces each fused
+// item itself — and plain futures carry their request's.
+func traceOf(f *Future) obs.TraceContext {
+	switch {
+	case f.step != nil:
+		return f.step.trace
+	case f.batch != nil:
+		return obs.TraceContext{}
+	default:
+		return f.req.Trace
+	}
+}
+
+// childSpan emits one child span of tc's root; the recorder mints the
+// span's own id. Callers must have checked p.spobsv != nil && tc.Sampled.
+func (p *EnginePool) childSpan(tc obs.TraceContext, name string, shard, attempt int, start time.Time, d time.Duration, status string) {
+	p.spobsv.SpanObserved(tc.TraceHi, tc.TraceLo, 0, tc.SpanID, name, shard, attempt, start, d, status)
+}
+
+// rootSpan emits tc's root "request" span — the trace's final span.
+// attempt carries the total retry attempts the request consumed.
+func (p *EnginePool) rootSpan(tc obs.TraceContext, shard, attempt int, start time.Time, d time.Duration, status string) {
+	p.spobsv.SpanObserved(tc.TraceHi, tc.TraceLo, tc.SpanID, 0, "request", shard, attempt, start, d, status)
+}
+
+// spanStatus classifies an error as a span status tag ("" = success).
+func spanStatus(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, ErrQueueFull):
+		return "shed"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case pram.Transient(err):
+		return "transient"
+	default:
+		return "error"
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"parlist/internal/obs"
 	"parlist/internal/plan"
 	"parlist/internal/pram"
 	"parlist/internal/rank"
@@ -38,6 +39,10 @@ type stepSpec struct {
 	procs      int
 	faults     *pram.FaultPlan
 	deadlineAt time.Time
+	// trace is the owning sharded request's trace context: step spans
+	// ("queue", "step-*", "retry") parent onto its root span, which the
+	// coordinator emits when the plan resolves.
+	trace obs.TraceContext
 	// stats is the step's simulated accounting, valid after a
 	// successful run.
 	stats pram.Stats

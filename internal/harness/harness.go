@@ -164,6 +164,7 @@ func All() []Experiment {
 		{ID: "E19", Title: "Resilience: availability and tail latency under injected faults", Run: runE19},
 		{ID: "E20", Title: "Sharded execution: exchange volume and balance across fan-outs", Run: runE20},
 		{ID: "E21", Title: "Wire serving: coalescing batcher across batch size × max-wait × offered load", Run: runE21},
+		{ID: "E22", Title: "Tracing: span-path overhead and tail-sampling funnel on the wire path", Run: runE22},
 	}
 }
 

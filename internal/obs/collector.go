@@ -16,11 +16,12 @@ const MaxTrackedWorkers = 64
 // Collector receives the wall-clock observations the producing layers
 // emit and lands them in a Registry. It structurally satisfies
 // pram.Observer (round wall time, per-worker barrier waits, phase
-// spans), engine.EngineObserver (per-op request latency, arena churn)
-// and engine.PoolObserver (queue wait/depth, shed, cache hits) — one
-// Collector can be attached at all three layers at once, and every
-// method is safe for concurrent use (the hot paths are lock-free
-// atomics).
+// spans), engine.EngineObserver (per-op request latency, arena churn),
+// engine.PoolObserver (queue wait/depth, shed, cache hits) and
+// engine.SpanObserver (distributed-tracing spans, forwarded to an
+// attached SpanRecorder) — one Collector can be attached at all layers
+// at once, and every method is safe for concurrent use (the hot paths
+// are lock-free atomics).
 //
 // Metric names (all durations in nanoseconds):
 //
@@ -53,6 +54,7 @@ const MaxTrackedWorkers = 64
 type Collector struct {
 	reg   *Registry
 	trace *Trace
+	spans *SpanRecorder
 
 	// Simulator layer.
 	roundWall   *Histogram
@@ -126,6 +128,33 @@ func NewCollector(reg *Registry) *Collector {
 // AttachTrace directs phase spans into t (nil detaches). Metrics keep
 // flowing either way; the trace only adds the Perfetto span log.
 func (c *Collector) AttachTrace(t *Trace) { c.trace = t }
+
+// AttachSpans directs request-scoped distributed-tracing spans into r
+// (nil detaches). Like AttachTrace this is a side channel: with no
+// recorder attached SpanObserved is a nil-check no-op, so the
+// zero-allocation request path is untouched. Attach before serving
+// traffic — the field is not synchronized against in-flight requests.
+func (c *Collector) AttachSpans(r *SpanRecorder) { c.spans = r }
+
+// Spans returns the attached span recorder (nil when detached).
+func (c *Collector) Spans() *SpanRecorder { return c.spans }
+
+// SpanObserved implements the producers' span hook (engine.SpanObserver):
+// one completed span of a sampled trace. spanID 0 asks the recorder to
+// mint an id; parentID 0 marks the trace's root span and triggers its
+// tail-sampling keep/drop decision. With no recorder attached the call
+// is a no-op.
+func (c *Collector) SpanObserved(traceHi, traceLo, spanID, parentID uint64,
+	name string, shard, attempt int, start time.Time, d time.Duration, status string) {
+	r := c.spans
+	if r == nil {
+		return
+	}
+	r.Record(Span{
+		TraceHi: traceHi, TraceLo: traceLo, SpanID: spanID, ParentID: parentID,
+		Name: name, Shard: shard, Attempt: attempt, Start: start, Dur: d, Status: status,
+	})
+}
 
 // RoundObserved implements the simulator's round hook: one synchronous
 // primitive took wall time for items items.

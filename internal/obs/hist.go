@@ -4,6 +4,7 @@ import (
 	"math"
 	stdbits "math/bits"
 	"sync/atomic"
+	"time"
 )
 
 // The histogram is log-linear (HDR-style): each power-of-two octave of
@@ -62,6 +63,33 @@ type Histogram struct {
 	count  atomic.Uint64
 	sum    atomic.Uint64
 	max    atomic.Int64
+	// exemplars holds one trace-id exemplar per octave (not per bucket
+	// — 60 slots instead of 960), written only by ObserveExemplar, so
+	// plain Observe stays allocation-free.
+	exemplars [histOctaves + 2]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it —
+// the metrics→traces bridge: a latency histogram bucket that looks bad
+// on /statusz carries the 128-bit trace id of a request that landed in
+// it, ready to look up in /debug/traces.
+type Exemplar struct {
+	// Value is the observed value (nanoseconds for latency families).
+	Value int64
+	// TraceHi and TraceLo are the trace id halves; TraceID renders them.
+	TraceHi, TraceLo uint64
+	// Unix is the observation time in Unix nanoseconds.
+	Unix int64
+}
+
+// TraceID renders the exemplar's 32-hex trace id.
+func (e *Exemplar) TraceID() string {
+	return TraceContext{TraceHi: e.TraceHi, TraceLo: e.TraceLo}.TraceID()
+}
+
+// exemplarSlot maps a value to its per-octave exemplar slot.
+func exemplarSlot(v int64) int {
+	return bucketIdx(uint64(v)) >> histSubBits
 }
 
 // Observe records one value. Negative values clamp to zero.
@@ -78,6 +106,35 @@ func (h *Histogram) Observe(v int64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value like Observe and attaches the
+// producing trace id as the exemplar of the value's octave. It
+// allocates one Exemplar record, so callers gate it on the request
+// being sampled; unsampled traffic uses plain Observe.
+func (h *Histogram) ObserveExemplar(v int64, traceHi, traceLo uint64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Observe(v)
+	if traceHi|traceLo == 0 {
+		return
+	}
+	h.exemplars[exemplarSlot(v)].Store(&Exemplar{
+		Value: v, TraceHi: traceHi, TraceLo: traceLo, Unix: time.Now().UnixNano(),
+	})
+}
+
+// Exemplars returns the histogram's current exemplars, ascending by
+// value octave. Empty when no sampled observation has landed.
+func (h *Histogram) Exemplars() []Exemplar {
+	var out []Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
 }
 
 // Snapshot copies the histogram into s. The copy is not atomic with

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parlist/internal/engine"
+	"parlist/internal/obs"
 )
 
 // item is one admitted request riding through the batcher. The handler
@@ -19,6 +21,9 @@ type item struct {
 	ctx    context.Context
 	tenant string
 	proto  string
+	// trace is the request's (possibly server-minted) trace context;
+	// the batcher's life-cycle spans parent onto its root span.
+	trace obs.TraceContext
 	// bi carries the request in and the result/service timestamps out.
 	bi engine.BatchItem
 	// enq and flush are the admission and group-flush timestamps; with
@@ -69,6 +74,13 @@ type batcher struct {
 	// admitted item has finished.
 	wg     sync.WaitGroup
 	exited chan struct{}
+
+	// groups and queued mirror the collector's pending state for
+	// /statusz: open coalescing groups and items waiting in them. The
+	// collector goroutine writes them after every event; readers get a
+	// live (slightly racy, as all gauges are) occupancy picture.
+	groups atomic.Int64
+	queued atomic.Int64
 }
 
 func newBatcher(s *Server) *batcher {
@@ -127,8 +139,10 @@ func (b *batcher) run() {
 			if !ok {
 				for k, g := range pending {
 					delete(pending, k)
+					b.queued.Add(-int64(len(g.items)))
 					b.flush(g.items, "drain")
 				}
+				b.groups.Store(0)
 				return
 			}
 			n := 0
@@ -142,18 +156,23 @@ func (b *batcher) run() {
 				pending[k] = g
 			}
 			g.items = append(g.items, it)
+			b.queued.Add(1)
 			if len(g.items) >= b.srv.cfg.BatchSize {
 				delete(pending, k)
+				b.queued.Add(-int64(len(g.items)))
 				b.flush(g.items, "size")
 			}
+			b.groups.Store(int64(len(pending)))
 		case now := <-tc:
 			armed = false
 			for k, g := range pending {
 				if !g.deadline.After(now) {
 					delete(pending, k)
+					b.queued.Add(-int64(len(g.items)))
 					b.flush(g.items, "timer")
 				}
 			}
+			b.groups.Store(int64(len(pending)))
 		}
 	}
 }
@@ -165,7 +184,8 @@ func (b *batcher) run() {
 // goroutine so the collector never blocks on engine service time.
 func (b *batcher) flush(items []*item, cause string) {
 	now := time.Now()
-	m := b.srv.met
+	srv := b.srv
+	m := srv.met
 	live := make([]*item, 0, len(items))
 	bis := make([]*engine.BatchItem, 0, len(items))
 	for _, it := range items {
@@ -181,13 +201,27 @@ func (b *batcher) flush(items []*item, cause string) {
 	if len(live) == 0 {
 		return
 	}
+	// link is one id minted per fused batch and stamped on every
+	// member's spans, so a trace of one item names the batch it rode in
+	// and /debug/traces can reassemble the whole fusion group.
+	var link uint64
+	if srv.rec != nil {
+		for _, it := range live {
+			if it.trace.Sampled {
+				if link == 0 {
+					link = srv.rec.Source().SpanID()
+				}
+				srv.childSpan(it.trace, link, "inbox", -1, it.enq, now.Sub(it.enq), "")
+			}
+		}
+	}
 	m.flushes(cause).Inc()
 	m.batchSize.Observe(int64(len(live)))
 	for _, it := range live {
 		it.batched = len(live)
 		m.batchWait.Observe(now.Sub(it.enq).Nanoseconds())
 	}
-	f, err := b.srv.pool.SubmitBatch(context.Background(), bis)
+	f, err := srv.pool.SubmitBatch(context.Background(), bis)
 	if err != nil {
 		st := StatusShed
 		cause := "queue_full"
@@ -207,7 +241,26 @@ func (b *batcher) flush(items []*item, cause string) {
 		// The future's ctx is Background: it resolves when every item
 		// has been served (or skipped by its own dead ctx).
 		_, _ = f.Wait(context.Background())
+		eng := f.Metrics().Engine
 		for _, it := range live {
+			// Spans land before finish wakes the handler, so a caller
+			// that reads /debug/traces right after its response sees
+			// the complete tree.
+			if it.trace.Sampled {
+				status := ""
+				if it.bi.Err != nil {
+					status = statusName(statusOf(it.bi.Err))
+				}
+				if it.bi.Start.IsZero() {
+					// Never reached a machine (dead ctx, engine-side
+					// failure before service): the queue span carries
+					// the failure.
+					srv.childSpan(it.trace, link, "queue", eng, it.flush, time.Since(it.flush), status)
+				} else {
+					srv.childSpan(it.trace, link, "queue", eng, it.flush, it.bi.Start.Sub(it.flush), "")
+					srv.childSpan(it.trace, link, "engine", eng, it.bi.Start, it.bi.End.Sub(it.bi.Start), status)
+				}
+			}
 			it.finish(statusOf(it.bi.Err), it.bi.Err)
 		}
 	}()

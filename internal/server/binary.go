@@ -6,11 +6,13 @@ package server
 // tagged with the request's id, in completion order.
 //
 // Every frame is a uint32 little-endian length followed by that many
-// payload bytes. Request payloads start with a 64-byte fixed header:
+// payload bytes. Version-2 request payloads start with a 96-byte fixed
+// header (version 1, which this server still decodes, is the same
+// header without the trace block — 64 bytes):
 //
 //	off size field
 //	  0    1 magic 0x70 ('p')
-//	  1    1 version (1)
+//	  1    1 version (2; 1 accepted without the trace block)
 //	  2    1 op (0 matching, 1 partition, 2 threecolor, 3 mis,
 //	           4 rank, 5 prefix, 6 schedule)
 //	  3    1 flags: bit0 values present, bit1 labels present,
@@ -30,16 +32,22 @@ package server
 //	 40    8 seed (int64)
 //	 48    8 n (uint64, node count)
 //	 56    8 head (int64)
+//	 64    8 trace id high half (uint64; all-zero trace id = untraced)
+//	 72    8 trace id low half
+//	 80    8 root span id
+//	 88    1 trace flags: bit0 sampled
+//	 89    7 reserved (zero)
 //
 // followed by n int64 next pointers, then — when flagged — n int64
 // values, n int64 labels, and a uint16-length-prefixed tenant string.
 // The payload length must land exactly on the end of the last field.
 //
-// Response payloads start with a 48-byte fixed header:
+// Version-2 response payloads start with a 72-byte fixed header
+// (version 1: the same without the trace block — 48 bytes):
 //
 //	off size field
 //	  0    1 magic 0x50 ('P')
-//	  1    1 version (1)
+//	  1    1 version (2)
 //	  2    1 status (see Status* constants)
 //	  3    1 op
 //	  4    4 batched (uint32, fused-batch size; 0 when never batched)
@@ -48,6 +56,9 @@ package server
 //	 24    8 flush timestamp
 //	 32    8 service-start timestamp
 //	 40    8 respond timestamp
+//	 48    8 trace id high half (all-zero trace id = untraced)
+//	 56    8 trace id low half
+//	 64    8 root span id
 //
 // A non-OK status is followed by a uint32-length-prefixed message. An
 // OK status is followed by six int64s (size, sets, rounds, tableSize,
@@ -69,19 +80,26 @@ import (
 
 	"parlist/internal/engine"
 	"parlist/internal/list"
+	"parlist/internal/obs"
 	"parlist/internal/partition"
 )
 
 const (
-	reqMagic   byte = 0x70 // 'p'
-	respMagic  byte = 0x50 // 'P'
-	wireV1     byte = 1
-	reqHdrLen       = 64
-	respHdrLen      = 48
+	reqMagic  byte = 0x70 // 'p'
+	respMagic byte = 0x50 // 'P'
+	wireV1    byte = 1
+	wireV2    byte = 2
+	// v1 header lengths; v2 appends the trace block to each.
+	reqHdrLen    = 64
+	respHdrLen   = 48
+	reqHdrLenV2  = reqHdrLen + 32
+	respHdrLenV2 = respHdrLen + 24
 
 	flagValues byte = 1 << 0
 	flagLabels byte = 1 << 1
 	flagTenant byte = 1 << 2
+
+	traceFlagSampled byte = 1 << 0
 )
 
 // DefaultMaxFrame bounds a single frame's payload; Config.MaxFrame
@@ -142,7 +160,7 @@ func appendRequestFrame(dst []byte, id uint64, tenant string, req *engine.Reques
 	}
 	n := len(req.List.Next)
 	var flags byte
-	size := reqHdrLen + 8*n
+	size := reqHdrLenV2 + 8*n
 	if req.Values != nil {
 		if len(req.Values) != n {
 			return dst, engine.ErrBadValues
@@ -166,9 +184,9 @@ func appendRequestFrame(dst []byte, id uint64, tenant string, req *engine.Reques
 	}
 
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(size))
-	var hdr [reqHdrLen]byte
+	var hdr [reqHdrLenV2]byte
 	hdr[0] = reqMagic
-	hdr[1] = wireV1
+	hdr[1] = wireV2
 	hdr[2] = byte(req.Op)
 	hdr[3] = flags
 	hdr[4] = ac
@@ -189,6 +207,12 @@ func appendRequestFrame(dst []byte, id uint64, tenant string, req *engine.Reques
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(req.Seed))
 	binary.LittleEndian.PutUint64(hdr[48:], uint64(n))
 	binary.LittleEndian.PutUint64(hdr[56:], uint64(req.List.Head))
+	binary.LittleEndian.PutUint64(hdr[64:], req.Trace.TraceHi)
+	binary.LittleEndian.PutUint64(hdr[72:], req.Trace.TraceLo)
+	binary.LittleEndian.PutUint64(hdr[80:], req.Trace.SpanID)
+	if req.Trace.Sampled {
+		hdr[88] |= traceFlagSampled
+	}
 	dst = append(dst, hdr[:]...)
 	for _, v := range req.List.Next {
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
@@ -216,8 +240,17 @@ func decodeRequestFrame(buf []byte) (id uint64, tenant string, req engine.Reques
 	if buf[0] != reqMagic {
 		return 0, "", req, errBadMagic
 	}
-	if buf[1] != wireV1 {
+	hdrLen := 0
+	switch buf[1] {
+	case wireV1:
+		hdrLen = reqHdrLen
+	case wireV2:
+		hdrLen = reqHdrLenV2
+	default:
 		return 0, "", req, errBadVersion
+	}
+	if len(buf) < hdrLen {
+		return 0, "", req, errTruncated
 	}
 	op := engine.Op(buf[2])
 	flags := buf[3]
@@ -250,7 +283,21 @@ func decodeRequestFrame(buf []byte) (id uint64, tenant string, req engine.Reques
 	}
 	n64 := binary.LittleEndian.Uint64(buf[48:])
 	head := int64(binary.LittleEndian.Uint64(buf[56:]))
-	rest := len(buf) - reqHdrLen
+	if hdrLen == reqHdrLenV2 {
+		// An all-zero trace block (the v1-upgrade encoding) decodes as
+		// "no context"; reserved bytes are ignored for forward
+		// compatibility.
+		req.Trace = obs.TraceContext{
+			TraceHi: binary.LittleEndian.Uint64(buf[64:]),
+			TraceLo: binary.LittleEndian.Uint64(buf[72:]),
+			SpanID:  binary.LittleEndian.Uint64(buf[80:]),
+			Sampled: buf[88]&traceFlagSampled != 0,
+		}
+		if !req.Trace.Valid() {
+			req.Trace = obs.TraceContext{}
+		}
+	}
+	rest := len(buf) - hdrLen
 	arrays := 1 // next
 	if flags&flagValues != 0 {
 		arrays++
@@ -262,7 +309,7 @@ func decodeRequestFrame(buf []byte) (id uint64, tenant string, req engine.Reques
 		return 0, "", req, errTruncated
 	}
 	n := int(n64)
-	off := reqHdrLen
+	off := hdrLen
 	readInts := func() []int {
 		out := make([]int, n)
 		for i := range out {
@@ -298,11 +345,12 @@ func decodeRequestFrame(buf []byte) (id uint64, tenant string, req engine.Reques
 
 // appendResponseFrame encodes one response (length prefix included).
 // A nil item is an admission-time failure: no timestamps beyond the
-// ones the caller provides.
-func appendResponseFrame(dst []byte, id uint64, st byte, op engine.Op, it *item, errMsg string) []byte {
-	var hdr [respHdrLen]byte
+// ones the caller provides. tc echoes the request's (possibly
+// server-minted) trace context so the client learns its trace id.
+func appendResponseFrame(dst []byte, id uint64, st byte, op engine.Op, it *item, tc obs.TraceContext, errMsg string) []byte {
+	var hdr [respHdrLenV2]byte
 	hdr[0] = respMagic
-	hdr[1] = wireV1
+	hdr[1] = wireV2
 	hdr[2] = st
 	hdr[3] = byte(op)
 	var res *engine.Result
@@ -319,8 +367,11 @@ func appendResponseFrame(dst []byte, id uint64, st byte, op engine.Op, it *item,
 	}
 	binary.LittleEndian.PutUint64(hdr[8:], id)
 	binary.LittleEndian.PutUint64(hdr[40:], uint64(time.Now().UnixNano()))
+	binary.LittleEndian.PutUint64(hdr[48:], tc.TraceHi)
+	binary.LittleEndian.PutUint64(hdr[56:], tc.TraceLo)
+	binary.LittleEndian.PutUint64(hdr[64:], tc.SpanID)
 
-	size := respHdrLen
+	size := respHdrLenV2
 	if st != StatusOK {
 		size += 4 + len(errMsg)
 	} else {
@@ -365,8 +416,17 @@ func decodeResponseFrame(buf []byte) (*Response, error) {
 	if buf[0] != respMagic {
 		return nil, errBadMagic
 	}
-	if buf[1] != wireV1 {
+	hdrLen := 0
+	switch buf[1] {
+	case wireV1:
+		hdrLen = respHdrLen
+	case wireV2:
+		hdrLen = respHdrLenV2
+	default:
 		return nil, errBadVersion
+	}
+	if len(buf) < hdrLen {
+		return nil, errTruncated
 	}
 	r := &Response{
 		Status:  buf[2],
@@ -380,7 +440,17 @@ func decodeResponseFrame(buf []byte) (*Response, error) {
 			Respond: unixNano(buf[40:]),
 		},
 	}
-	off := respHdrLen
+	if hdrLen == respHdrLenV2 {
+		r.Trace = obs.TraceContext{
+			TraceHi: binary.LittleEndian.Uint64(buf[48:]),
+			TraceLo: binary.LittleEndian.Uint64(buf[56:]),
+			SpanID:  binary.LittleEndian.Uint64(buf[64:]),
+		}
+		if !r.Trace.Valid() {
+			r.Trace = obs.TraceContext{}
+		}
+	}
+	off := hdrLen
 	if r.Status != StatusOK {
 		if len(buf)-off < 4 {
 			return nil, errTruncated
@@ -513,7 +583,7 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		size := int(binary.LittleEndian.Uint32(lenBuf[:]))
 		if size > s.maxFrame {
-			write(appendResponseFrame(nil, 0, StatusInvalid, 0, nil,
+			write(appendResponseFrame(nil, 0, StatusInvalid, 0, nil, obs.TraceContext{},
 				fmt.Sprintf("frame of %d bytes exceeds limit %d", size, s.maxFrame)))
 			return
 		}
@@ -523,13 +593,13 @@ func (s *Server) serveConn(c net.Conn) {
 		}
 		id, tenant, req, err := decodeRequestFrame(buf)
 		if err != nil {
-			write(appendResponseFrame(nil, id, StatusInvalid, 0, nil, err.Error()))
+			write(appendResponseFrame(nil, id, StatusInvalid, 0, nil, req.Trace, err.Error()))
 			return
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			it, st, err := s.do(ctx, "binary", tenant, req)
+			it, tc, st, err := s.do(ctx, "binary", tenant, req)
 			if it != nil {
 				defer s.finishRequest()
 			}
@@ -542,7 +612,7 @@ func (s *Server) serveConn(c net.Conn) {
 			if st != StatusOK {
 				it = nil
 			}
-			write(appendResponseFrame(nil, id, st, req.Op, it, msg))
+			write(appendResponseFrame(nil, id, st, req.Op, it, tc, msg))
 		}()
 	}
 }

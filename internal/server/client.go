@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"parlist/internal/engine"
+	"parlist/internal/obs"
 )
 
 // Timing is the server-stamped life cycle of one request: admission
@@ -28,24 +29,37 @@ type Timing struct {
 // Response is one binary-framing reply. On StatusOK, Result carries
 // the engine output (Stats reduced to Time and Work — the wire does
 // not ship per-phase detail); otherwise Message explains the failure.
+// Trace is the request's trace context as the server saw it —
+// wire-propagated or server-minted — zero when the server ran
+// untraced; its TraceID keys /debug/traces.
 type Response struct {
 	ID      uint64
 	Status  byte
 	Op      engine.Op
 	Batched int
 	Timing  Timing
+	Trace   obs.TraceContext
 	Message string
 	Result  engine.Result
 }
 
 // StatusError is a non-OK response surfaced as an error by Client.Do.
+// TraceID ("" when untraced) and Timing carry enough context to find
+// the failure in /debug/traces and see how far the request got before
+// dying — an error you can debug without re-running the request.
 type StatusError struct {
 	Code    byte
 	Message string
+	TraceID string
+	Timing  Timing
 }
 
-// Error renders the taxonomy code and the server's message.
+// Error renders the taxonomy code, the server's message, and — when
+// the request was traced — the trace id to look it up by.
 func (e *StatusError) Error() string {
+	if e.TraceID != "" {
+		return fmt.Sprintf("server: %s: %s (trace %s)", statusName(e.Code), e.Message, e.TraceID)
+	}
 	return fmt.Sprintf("server: %s: %s", statusName(e.Code), e.Message)
 }
 
@@ -130,7 +144,11 @@ func (c *Client) Do(ctx context.Context, req engine.Request) (*Response, error) 
 			return nil, err
 		}
 		if r.Status != StatusOK {
-			return r, &StatusError{Code: r.Status, Message: r.Message}
+			se := &StatusError{Code: r.Status, Message: r.Message, Timing: r.Timing}
+			if r.Trace.Valid() {
+				se.TraceID = r.Trace.TraceID()
+			}
+			return r, se
 		}
 		return r, nil
 	case <-ctx.Done():

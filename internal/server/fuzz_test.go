@@ -6,6 +6,7 @@ import (
 
 	"parlist/internal/engine"
 	"parlist/internal/list"
+	"parlist/internal/obs"
 )
 
 // FuzzBinaryFrameRoundTrip throws arbitrary bytes at the request
@@ -19,6 +20,12 @@ func FuzzBinaryFrameRoundTrip(f *testing.F) {
 		{Op: engine.OpPrefix, List: l, Values: []int{1, 2, 3}},
 		{Op: engine.OpSchedule, List: l, Labels: []int{0, 1, 0}, K: 2},
 		{Op: engine.OpMatching, List: l, Algorithm: engine.AlgoRandomized, Seed: 42},
+		// The v2 trace block, sampled and not, exercises the new header
+		// bytes through decode∘encode.
+		{Op: engine.OpRank, List: l,
+			Trace: obs.TraceContext{TraceHi: 1, TraceLo: 2, SpanID: 3, Sampled: true}},
+		{Op: engine.OpPrefix, List: l, Values: []int{4, 5, 6},
+			Trace: obs.TraceContext{TraceHi: ^uint64(0), TraceLo: ^uint64(0), SpanID: ^uint64(0)}},
 	}
 	for i, req := range seeds {
 		frame, err := appendRequestFrame(nil, uint64(i), "fuzz-tenant", &req)
@@ -29,7 +36,8 @@ func FuzzBinaryFrameRoundTrip(f *testing.F) {
 	}
 	resp := appendResponseFrame(nil, 9, StatusOK, engine.OpRank,
 		&item{batched: 3, bi: engine.BatchItem{Res: engine.Result{
-			Op: engine.OpRank, Algorithm: "contraction", Ranks: []int{0, 1, 2}}}}, "")
+			Op: engine.OpRank, Algorithm: "contraction", Ranks: []int{0, 1, 2}}}},
+		obs.TraceContext{TraceHi: 0xfeed, TraceLo: 0xbeef, SpanID: 7}, "")
 	f.Add(resp[4:])
 
 	f.Fuzz(func(t *testing.T, data []byte) {

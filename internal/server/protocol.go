@@ -193,13 +193,17 @@ type jsonResponse struct {
 	SimTime   int64      `json:"sim_time"`
 	SimWork   int64      `json:"sim_work"`
 	Batched   int        `json:"batched"`
+	TraceID   string     `json:"trace_id,omitempty"`
 	Timing    jsonTiming `json:"timing"`
 }
 
-// jsonError is the HTTP/JSON failure body; Code is statusName's label.
+// jsonError is the HTTP/JSON failure body; Code is statusName's label
+// and TraceID — present when the request was traced — keys
+// /debug/traces.
 type jsonError struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // buildRequest converts a decoded JSON body into an engine request.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
@@ -29,6 +30,33 @@ func newRateLimiter(rate, burst float64) *rateLimiter {
 		burst = 1
 	}
 	return &rateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// tenantFill is one tenant's bucket state in a limiter snapshot.
+type tenantFill struct {
+	tenant string
+	tokens float64
+}
+
+// snapshot reports the limiter's configuration and every known
+// tenant's current (refill-adjusted) token count, for /statusz. A nil
+// limiter reports rate 0 — unlimited.
+func (rl *rateLimiter) snapshot() (rate, burst float64, fills []tenantFill) {
+	if rl == nil {
+		return 0, 0, nil
+	}
+	now := time.Now()
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	for t, b := range rl.buckets {
+		tok := b.tokens + now.Sub(b.last).Seconds()*rl.rate
+		if tok > rl.burst {
+			tok = rl.burst
+		}
+		fills = append(fills, tenantFill{tenant: t, tokens: tok})
+	}
+	sort.Slice(fills, func(i, j int) bool { return fills[i].tenant < fills[j].tenant })
+	return rl.rate, rl.burst, fills
 }
 
 // allow spends one token from tenant's bucket, reporting whether one

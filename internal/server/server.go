@@ -23,6 +23,14 @@ const TenantHeader = "X-Parlist-Tenant"
 // DefaultTenant is the bucket requests without a tenant land in.
 const DefaultTenant = "anonymous"
 
+// TraceHeader is the HTTP header carrying a request's trace context,
+// in obs.TraceContext.Header form (<32 hex trace>-<16 hex span>-<2 hex
+// flags>). The server parses it on the way in (garbage is ignored, not
+// an error) and echoes the request's — possibly server-minted —
+// context on the way out. The binary framing carries the same context
+// in its version-2 request header instead.
+const TraceHeader = "X-Parlist-Trace"
+
 // Config shapes a Server. Pool is the only required field.
 type Config struct {
 	// Pool serves the requests. The server owns its lifecycle from
@@ -49,6 +57,20 @@ type Config struct {
 	// Registry receives the parlistd_* metric families and backs the
 	// /metrics handler (default: a fresh registry).
 	Registry *obs.Registry
+	// Trace, when non-nil, enables distributed tracing: the server
+	// mints a TraceContext for requests that arrive without one,
+	// records its own life-cycle spans (request/inbox/queue/engine)
+	// into the recorder, and serves the recorder on /debug/traces. To
+	// also capture pool-side spans (retries, sharded steps), attach the
+	// same recorder to the pool's obs.Collector (AttachSpans). Nil
+	// disables tracing entirely — wire contexts still propagate to the
+	// engine untouched.
+	Trace *obs.SpanRecorder
+	// TraceSample is the head-sampling probability for requests that
+	// arrive without a wire context (0 defaults to 1 — sample all and
+	// let tail sampling decide keeps; negative disables head sampling).
+	// Wire-propagated contexts keep their own sampling flag.
+	TraceSample float64
 }
 
 // Server is the serving daemon's core: admission control (drain state,
@@ -63,6 +85,11 @@ type Server struct {
 	bat      *batcher
 	lim      *rateLimiter
 	maxFrame int
+
+	// rec and sampleRate are the tracing knobs resolved from Config
+	// (rec nil = tracing off).
+	rec        *obs.SpanRecorder
+	sampleRate float64
 
 	// mu guards draining and the listener/conn sets. Admission holds
 	// it as a reader across the draining check and the batcher send,
@@ -102,14 +129,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	rate := cfg.TraceSample
+	switch {
+	case rate == 0:
+		rate = 1
+	case rate < 0:
+		rate = 0
+	case rate > 1:
+		rate = 1
+	}
 	s := &Server{
-		cfg:       cfg,
-		pool:      cfg.Pool,
-		reg:       cfg.Registry,
-		maxFrame:  cfg.MaxFrame,
-		lim:       newRateLimiter(cfg.RatePerSec, cfg.Burst),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		cfg:        cfg,
+		pool:       cfg.Pool,
+		reg:        cfg.Registry,
+		maxFrame:   cfg.MaxFrame,
+		lim:        newRateLimiter(cfg.RatePerSec, cfg.Burst),
+		rec:        cfg.Trace,
+		sampleRate: rate,
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
 	}
 	s.met = newServerMetrics(s.reg)
 	s.bat = newBatcher(s)
@@ -152,22 +190,72 @@ func (s *Server) untrackConn(c net.Conn) {
 	c.Close()
 }
 
+// sampleHead makes the head-sampling decision for a request that
+// arrived without a wire context.
+func (s *Server) sampleHead() bool {
+	if s.sampleRate >= 1 {
+		return true
+	}
+	if s.sampleRate <= 0 {
+		return false
+	}
+	h := s.rec.Source().SpanID()
+	return float64(h>>11)/float64(1<<53) < s.sampleRate
+}
+
+// rootSpan records the trace's root "request" span — the final span of
+// a server-side trace, emitted when the request's outcome is known.
+func (s *Server) rootSpan(tc obs.TraceContext, start time.Time, st byte) {
+	if s.rec == nil || !tc.Sampled {
+		return
+	}
+	status := ""
+	if st != StatusOK {
+		status = statusName(st)
+	}
+	s.rec.Record(obs.Span{
+		TraceHi: tc.TraceHi, TraceLo: tc.TraceLo, SpanID: tc.SpanID,
+		Name: "request", Shard: -1, Start: start, Dur: time.Since(start), Status: status,
+	})
+}
+
+// childSpan records one child span of tc's root; link ties the spans
+// of one fused batch together (0 = none).
+func (s *Server) childSpan(tc obs.TraceContext, link uint64, name string, shard int, start time.Time, d time.Duration, status string) {
+	if s.rec == nil || !tc.Sampled {
+		return
+	}
+	s.rec.Record(obs.Span{
+		TraceHi: tc.TraceHi, TraceLo: tc.TraceLo, ParentID: tc.SpanID, Link: link,
+		Name: name, Shard: shard, Start: start, Dur: d, Status: status,
+	})
+}
+
 // do admits one request, rides it through the batcher, and waits for
 // its outcome (or the caller's ctx). On success the returned item
 // carries the result and every life-cycle timestamp; on failure the
 // status classifies it, err carries detail, and the item is nil unless
-// its outcome is settled. A non-nil item means the request was
+// its outcome is settled. The returned TraceContext is the request's
+// identity — wire-propagated or freshly minted — on every path, so
+// responses can echo it. A non-nil item means the request was
 // admitted: the caller MUST call finishRequest exactly once after
 // writing its response, so Shutdown's drain covers the write.
-func (s *Server) do(ctx context.Context, proto, tenant string, req engine.Request) (*item, byte, error) {
+func (s *Server) do(ctx context.Context, proto, tenant string, req engine.Request) (*item, obs.TraceContext, byte, error) {
 	if tenant == "" {
 		tenant = DefaultTenant
 	}
 	s.met.requests(proto, opName(req.Op)).Inc()
+	t0 := time.Now()
 
-	fail := func(st byte, err error) (*item, byte, error) {
+	if s.rec != nil && !req.Trace.Valid() {
+		req.Trace = s.rec.Source().NewContext(s.sampleHead())
+	}
+	tc := req.Trace
+
+	fail := func(st byte, err error) (*item, obs.TraceContext, byte, error) {
 		s.met.failures(statusName(st)).Inc()
-		return nil, st, err
+		s.rootSpan(tc, t0, st)
+		return nil, tc, st, err
 	}
 	if req.List == nil {
 		return fail(StatusInvalid, engine.ErrNilList)
@@ -180,7 +268,8 @@ func (s *Server) do(ctx context.Context, proto, tenant string, req engine.Reques
 		ctx:    ctx,
 		tenant: tenant,
 		proto:  proto,
-		enq:    time.Now(),
+		trace:  tc,
+		enq:    t0,
 		done:   make(chan struct{}),
 	}
 	it.bi.Req = req
@@ -211,16 +300,26 @@ func (s *Server) do(ctx context.Context, proto, tenant string, req engine.Reques
 	case <-ctx.Done():
 		// The batcher still owns the item and will resolve it; this
 		// caller has stopped listening. The item is NOT safe to read.
-		s.met.failures(statusName(statusOf(ctx.Err()))).Inc()
-		return it, statusOf(ctx.Err()), ctx.Err()
+		st := statusOf(ctx.Err())
+		s.met.failures(statusName(st)).Inc()
+		s.rootSpan(tc, t0, st)
+		return it, tc, st, ctx.Err()
 	}
 	if it.status != StatusOK {
 		s.met.failures(statusName(it.status)).Inc()
-		return it, it.status, it.err
+		s.rootSpan(tc, t0, it.status)
+		return it, tc, it.status, it.err
 	}
 	s.met.serviceNs.Observe(it.bi.End.Sub(it.bi.Start).Nanoseconds())
-	s.met.respondNs.Observe(time.Since(it.enq).Nanoseconds())
-	return it, StatusOK, nil
+	if tc.Sampled {
+		// Sampled requests stamp their trace id onto the latency
+		// histogram as an exemplar — the metrics→traces bridge.
+		s.met.respondNs.ObserveExemplar(time.Since(it.enq).Nanoseconds(), tc.TraceHi, tc.TraceLo)
+	} else {
+		s.met.respondNs.Observe(time.Since(it.enq).Nanoseconds())
+	}
+	s.rootSpan(tc, t0, StatusOK)
+	return it, tc, StatusOK, nil
 }
 
 // finishRequest retires one admitted request after its response has
@@ -231,7 +330,8 @@ func (s *Server) finishRequest() {
 }
 
 // Handler returns the HTTP side of the server: the seven /v1/<op>
-// JSON endpoints plus /metrics, /healthz and /debug/pprof.
+// JSON endpoints plus /metrics, /healthz, /debug/pprof and — when
+// tracing is configured — /debug/traces and /statusz.
 func (s *Server) Handler() http.Handler {
 	mux := obs.Mux(s.reg)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -241,6 +341,8 @@ func (s *Server) Handler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.Handle("/debug/traces", obs.TracesHandler(s.rec))
+	mux.HandleFunc("/statusz", s.statusz)
 	for name, op := range opsByName {
 		mux.HandleFunc("/v1/"+name, s.httpOp(op))
 	}
@@ -259,20 +361,26 @@ func (s *Server) httpOp(op engine.Op) http.HandlerFunc {
 		r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxNodes)*32+4096)
 		var jr jsonRequest
 		if err := json.NewDecoder(r.Body).Decode(&jr); err != nil {
-			writeJSONError(w, StatusInvalid, fmt.Errorf("decode request: %w", err))
+			writeJSONError(w, StatusInvalid, obs.TraceContext{}, fmt.Errorf("decode request: %w", err))
 			return
 		}
 		req, err := buildRequest(op, &jr)
 		if err != nil {
-			writeJSONError(w, StatusInvalid, err)
+			writeJSONError(w, StatusInvalid, obs.TraceContext{}, err)
 			return
 		}
-		it, st, err := s.do(r.Context(), "http", r.Header.Get(TenantHeader), req)
+		// A wire-propagated trace context rides in; garbage is treated
+		// as absent (the server mints a fresh context instead).
+		req.Trace, _ = obs.ParseTraceHeader(r.Header.Get(TraceHeader))
+		it, tc, st, err := s.do(r.Context(), "http", r.Header.Get(TenantHeader), req)
 		if it != nil {
 			defer s.finishRequest()
 		}
+		if tc.Valid() {
+			w.Header().Set(TraceHeader, tc.Header())
+		}
 		if st != StatusOK {
-			writeJSONError(w, st, err)
+			writeJSONError(w, st, tc, err)
 			return
 		}
 		res := &it.bi.Res
@@ -296,19 +404,26 @@ func (s *Server) httpOp(op engine.Op) http.HandlerFunc {
 				RespondNS: time.Now().UnixNano(),
 			},
 		}
+		if tc.Valid() {
+			resp.TraceID = tc.TraceID()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(&resp)
 	}
 }
 
-func writeJSONError(w http.ResponseWriter, st byte, err error) {
+func writeJSONError(w http.ResponseWriter, st byte, tc obs.TraceContext, err error) {
 	msg := statusName(st)
 	if err != nil {
 		msg = err.Error()
 	}
+	je := jsonError{Error: msg, Code: statusName(st)}
+	if tc.Valid() {
+		je.TraceID = tc.TraceID()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(httpStatus(st))
-	json.NewEncoder(w).Encode(&jsonError{Error: msg, Code: statusName(st)})
+	json.NewEncoder(w).Encode(&je)
 }
 
 // Shutdown drains the server: stop admitting, flush every pending

@@ -409,7 +409,7 @@ func TestCancelWhileBatched(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		it, st, err := s.do(ctx, "test", "t", engine.Request{Op: engine.OpRank, List: l})
+		it, _, st, err := s.do(ctx, "test", "t", engine.Request{Op: engine.OpRank, List: l})
 		if it != nil {
 			s.finishRequest()
 		}
